@@ -1,0 +1,48 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables, prints the
+rows/series the paper reports, and asserts the qualitative shape (who wins,
+by roughly what factor, where the crossovers fall).
+
+Scale: by default the sweeps are reduced relative to the paper (the shapes
+stabilize long before the paper's 50 jobs/factor and 5000 job sets).  Set
+``REPRO_FULL=1`` to run the paper's full scale; EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+_CAPTURE_MANAGER = None
+
+
+@pytest.fixture(autouse=True)
+def _expose_capture_manager(request):
+    """Remember pytest's capture manager so :func:`emit` can print the
+    paper-style tables through the capture (they belong in the benchmark
+    log, not in swallowed test output)."""
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = request.config.pluginmanager.getplugin("capturemanager")
+    yield
+
+
+def emit(text: str) -> None:
+    """Print a paper-style table under the benchmark output, bypassing
+    pytest's capture so the reproduced rows/series are present in the
+    benchmark log itself (``pytest benchmarks/ --benchmark-only | tee
+    bench_output.txt``) without needing ``-s``."""
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print("\n" + text)
+    else:  # plain python execution
+        print("\n" + text)

@@ -1,0 +1,115 @@
+"""Ablation benches — convergence rate, quantum length, discipline,
+allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentTable,
+    format_table,
+    run_allocator_ablation,
+    run_discipline_ablation,
+    run_quantum_ablation,
+    run_rate_ablation,
+)
+
+from conftest import emit
+
+
+def test_bench_ablation_rate(benchmark):
+    """Paper footnote 3: results stable for all r < 0.6."""
+    rows = benchmark(lambda: run_rate_ablation())
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Ablation — ABG convergence rate r",
+                columns=("convergence_rate", "time_norm", "waste_norm", "reallocations"),
+                rows=tuple(rows),
+            )
+        )
+    )
+    by_rate = {r.convergence_rate: r for r in rows}
+    stable = [by_rate[r].time_norm for r in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)]
+    # below 0.6 the running time varies little (paper's observation)
+    assert max(stable) - min(stable) <= 0.1
+    # beyond it responsiveness degrades measurably
+    assert by_rate[0.8].time_norm > min(stable)
+
+
+def test_bench_ablation_quantum(benchmark):
+    """Quantum length sweep + the adaptive-quantum extension (Section 9
+    future work)."""
+    rows = benchmark(lambda: run_quantum_ablation())
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Ablation — quantum length (fixed sweep vs adaptive)",
+                columns=("policy", "time_norm", "waste_norm", "reallocations", "quanta"),
+                rows=tuple(rows),
+            )
+        )
+    )
+    fixed = [r for r in rows if r.policy.startswith("fixed")]
+    adaptive = next(r for r in rows if r.policy == "adaptive")
+    # shorter quanta track parallelism better: time_norm increases with L
+    times = [r.time_norm for r in fixed]
+    assert times == sorted(times)
+    # the adaptive policy beats the default fixed L=1000 on running time
+    default = next(r for r in fixed if r.policy == "fixed L=1000")
+    assert adaptive.time_norm < default.time_norm
+    # ...and uses fewer quanta than the shortest fixed length
+    shortest = fixed[0]
+    assert adaptive.quanta < shortest.quanta
+
+
+def test_bench_ablation_discipline(benchmark):
+    """The B in B-Greedy: breadth-first vs FIFO vs depth-first greedy."""
+    rows = benchmark(lambda: run_discipline_ablation())
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Ablation — scheduling discipline under ABG feedback",
+                columns=(
+                    "discipline",
+                    "workload",
+                    "time_norm",
+                    "waste_norm",
+                    "max_span_efficiency",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    def rows_of(d):
+        return [r for r in rows if r.discipline == d]
+
+    # breadth-first keeps the measurement invariant beta(q) <= 1 everywhere
+    for r in rows_of("breadth-first"):
+        assert r.max_span_efficiency <= 1.0 + 1e-9
+    # FIFO behaves like breadth-first on these workloads (children enqueue
+    # behind existing ready tasks), depth-first measurably degrades fork-join
+    bf_fj = next(r for r in rows_of("breadth-first") if r.workload == "fork-join")
+    fifo_fj = next(r for r in rows_of("fifo") if r.workload == "fork-join")
+    lifo_fj = next(r for r in rows_of("lifo") if r.workload == "fork-join")
+    assert abs(fifo_fj.time_norm - bf_fj.time_norm) < 0.05
+    assert lifo_fj.waste_norm > 1.5 * bf_fj.waste_norm
+
+
+def test_bench_ablation_allocator(benchmark):
+    """DEQ's non-reservation vs plain round-robin."""
+    rows = benchmark(lambda: run_allocator_ablation(num_sets=10, target_load=2.0))
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Ablation — DEQ vs round-robin (ABG jobs, load 2.0)",
+                columns=("allocator", "makespan", "mean_response_time", "total_waste"),
+                rows=tuple(rows),
+            )
+        )
+    )
+    deq = next(r for r in rows if "equi" in r.allocator)
+    rr = next(r for r in rows if "round" in r.allocator)
+    # redistributing declined processors shortens the schedule
+    assert deq.makespan <= rr.makespan
+    assert deq.mean_response_time <= rr.mean_response_time * 1.02

@@ -1,0 +1,45 @@
+"""Lemma 2 / Theorems 3-5 — measured quantities vs the paper's bounds."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import ExperimentTable, format_table, run_bounds_check
+
+from conftest import emit
+
+
+def test_bench_bounds(benchmark):
+    rows = benchmark(lambda: run_bounds_check(factors=(2, 3, 4), jobs_per_factor=5))
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Bound checks — Lemma 2, Theorems 3-5 (requires r < 1/CL)",
+                columns=(
+                    "experiment",
+                    "scenario",
+                    "transition_factor",
+                    "measured",
+                    "bound",
+                    "holds",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    assert rows
+    for row in rows:
+        assert row.holds, f"{row.experiment}/{row.scenario} violated its bound"
+    # every theorem family must be exercised
+    families = {r.experiment for r in rows}
+    assert {
+        "lemma2-upper",
+        "theorem3-time",
+        "theorem4-waste",
+        "theorem5-makespan",
+        "theorem5-response",
+    } <= families
+    # at least one non-vacuous Theorem 3 instance (finite bound)
+    assert any(
+        r.experiment == "theorem3-time" and math.isfinite(r.bound) for r in rows
+    )

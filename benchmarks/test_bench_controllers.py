@@ -1,0 +1,40 @@
+"""Controller-comparison bench — the value of A-Control's gain adaptation."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentTable, format_table, run_controller_compare
+
+from conftest import emit
+
+
+def test_bench_controllers(benchmark):
+    rows = benchmark(lambda: run_controller_compare())
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Controllers on constant-parallelism jobs "
+                "(fixed gain tuned for A0=8)",
+                columns=(
+                    "controller",
+                    "parallelism",
+                    "settled",
+                    "steady_state_error",
+                    "oscillation",
+                    "time_norm",
+                    "waste_norm",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    abg = [r for r in rows if r.controller.startswith("ABG")]
+    fixed = [r for r in rows if r.controller.startswith("FixedGain")]
+    agreedy = [r for r in rows if r.controller.startswith("A-Greedy")]
+    # the adaptive controller settles at every scale
+    assert all(r.settled for r in abg)
+    # the fixed gain settles only at its tuning point
+    assert sum(r.settled for r in fixed) == 1
+    settled = next(r for r in fixed if r.settled)
+    assert settled.parallelism == 8
+    # A-Greedy never settles (its oscillation is structural)
+    assert not any(r.settled for r in agreedy)

@@ -1,0 +1,85 @@
+"""Engine microbenchmarks — the performance claim behind the phased engine.
+
+The closed-form phased engine must be orders of magnitude faster than the
+step-accurate explicit engine on the paper's workload sizes (that speed is
+what makes the Figure 5/6 sweeps laptop-scale), while agreeing exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.abg import AControl
+from repro.dag.builders import fork_join_from_phases
+from repro.engine.explicit import ExplicitExecutor
+from repro.engine.phased import PhasedExecutor, PhasedJob
+from repro.sim.single import simulate_job
+
+from conftest import emit
+
+PHASES = [(1, 400), (32, 400), (1, 400), (32, 400)]
+
+
+def run_phased():
+    trace = simulate_job(PhasedJob(PHASES), AControl(0.2), 64, quantum_length=100)
+    return trace.running_time, trace.total_waste
+
+
+def run_explicit():
+    dag = fork_join_from_phases(PHASES)
+    trace = simulate_job(dag, AControl(0.2), 64, quantum_length=100)
+    return trace.running_time, trace.total_waste
+
+
+def test_bench_phased_engine(benchmark):
+    result = benchmark(run_phased)
+    assert result == run_explicit()  # exact agreement with the reference
+
+
+def test_bench_explicit_engine(benchmark):
+    benchmark.pedantic(run_explicit, rounds=3, iterations=1)
+
+
+def test_bench_engine_speedup(benchmark):
+    phased_result = benchmark(run_phased)
+    t0 = time.perf_counter()
+    for _ in range(20):
+        run_phased()
+    phased = (time.perf_counter() - t0) / 20
+    t0 = time.perf_counter()
+    explicit_result = run_explicit()
+    explicit = time.perf_counter() - t0
+    emit(f"phased {phased * 1e3:.2f} ms vs explicit {explicit * 1e3:.1f} ms "
+         f"-> speedup {explicit / phased:.0f}x")
+    assert phased_result == explicit_result
+    assert explicit / phased > 10
+
+
+def test_bench_phased_scaling(benchmark):
+    """The phased engine's per-quantum cost is O(phases touched), not
+    O(work): scaling the job 100x in work must not scale simulation time
+    anywhere near 100x."""
+    from repro.core.abg import AControl
+    from repro.engine.phased import PhasedJob
+    from repro.sim.single import simulate_job
+
+    def run(scale: int) -> float:
+        phases = [(1, 400 * scale), (32, 400 * scale)] * 2
+        job = PhasedJob(phases)
+        t0 = time.perf_counter()
+        trace = simulate_job(
+            job, AControl(0.2), 64, quantum_length=100 * scale
+        )
+        elapsed = time.perf_counter() - t0
+        assert trace.total_work == job.work
+        return elapsed
+
+    benchmark.pedantic(lambda: run(100), rounds=1, iterations=1)
+    run(1)  # warm-up
+    small = min(run(1) for _ in range(5))
+    large = min(run(100) for _ in range(5))
+    emit(f"phased engine: 1x job {small * 1e3:.2f} ms, 100x job {large * 1e3:.2f} ms "
+         f"(x{large / small:.1f} time for x100 work)")
+    # quantum count is identical (L scales with the job), so time should be
+    # nearly flat; allow generous headroom for noise
+    assert large < small * 10

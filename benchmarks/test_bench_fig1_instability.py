@@ -1,0 +1,17 @@
+"""Figure 1 — A-Greedy request instability on constant parallelism."""
+
+from __future__ import annotations
+
+from repro.experiments import format_series, run_fig1
+
+from conftest import emit
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark(lambda: run_fig1(parallelism=10, num_quanta=16))
+    emit("Figure 1 — A-Greedy requests on a constant-parallelism(10) job")
+    emit(format_series("d(q)", result.requests))
+    # the paper's figure: the request never settles; it cycles around A
+    tail = result.requests[4:]
+    assert set(tail) == {8.0, 16.0}
+    assert result.peak_request > result.parallelism

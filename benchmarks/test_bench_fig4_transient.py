@@ -1,0 +1,32 @@
+"""Figure 4 — transient and steady-state behaviour of ABG vs A-Greedy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_series, run_fig4
+
+from conftest import emit
+
+
+def test_bench_fig4(benchmark):
+    abg, agreedy = benchmark(
+        lambda: run_fig4(parallelism=10, num_quanta=8, convergence_rate=0.2)
+    )
+    emit("Figure 4(a) — ABG (r=0.2), constant parallelism 10")
+    emit(format_series("d(q)", abg.requests))
+    emit("Figure 4(b) — A-Greedy (rho=2)")
+    emit(format_series("d(q)", agreedy.requests))
+
+    # ABG: monotone convergence, zero overshoot, geometric error decay at 0.2
+    reqs = abg.requests
+    assert all(b >= a for a, b in zip(reqs, reqs[1:]))
+    assert max(reqs) <= 10.0 + 1e-9
+    errs = [abs(10.0 - d) for d in reqs]
+    for e1, e2 in zip(errs, errs[1:]):
+        if e1 > 1e-9:
+            assert e2 / e1 == pytest.approx(0.2, abs=1e-6)
+
+    # A-Greedy: overshoot and sustained oscillation
+    assert max(agreedy.requests) == 16.0
+    assert agreedy.requests[-1] != agreedy.requests[-2]

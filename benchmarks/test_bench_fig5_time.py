@@ -1,0 +1,67 @@
+"""Figure 5(a, b) — running time of individual jobs vs transition factor.
+
+Paper: ABG's normalized running time stays flat across transition factors
+while A-Greedy's grows/oscillates; ABG averages roughly 20% faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentTable, format_table, run_fig5
+
+from conftest import emit
+
+_CACHE: dict[bool, object] = {}
+
+
+def fig5_result(full: bool):
+    if full not in _CACHE:
+        if full:
+            factors = tuple(range(2, 101))
+            jobs = 50
+        else:
+            factors = tuple(range(2, 101, 7))
+            jobs = 20
+        _CACHE[full] = run_fig5(factors=factors, jobs_per_factor=jobs)
+    return _CACHE[full]
+
+
+def test_bench_fig5_time(benchmark, full_scale):
+    result = benchmark.pedantic(
+        fig5_result, args=(full_scale,), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Figure 5(a,b) — time/Tinf per scheduler and A-Greedy/ABG ratio",
+                columns=(
+                    "transition_factor",
+                    "abg_time_norm",
+                    "agreedy_time_norm",
+                    "time_ratio",
+                ),
+                rows=tuple(result.points),
+            )
+        )
+    )
+    emit(
+        f"mean time ratio {result.mean_time_ratio:.3f} -> ABG improvement "
+        f"{100 * result.mean_time_improvement:.1f}% (paper: ~20%)"
+    )
+
+    # Shape assertions against the paper's Figure 5(a,b):
+    # 1. ABG improves on A-Greedy on average by a double-digit percentage.
+    assert 0.08 <= result.mean_time_improvement <= 0.35
+    # 2. ABG's normalized time is flat in the transition factor.
+    abg = [p.abg_time_norm for p in result.points if p.transition_factor >= 10]
+    assert max(abg) - min(abg) < 0.35
+    # 3. A-Greedy degrades as the factor grows; the ratio trends up.
+    low = np.mean([p.time_ratio for p in result.points if p.transition_factor <= 10])
+    high = np.mean([p.time_ratio for p in result.points if p.transition_factor >= 60])
+    assert high > low
+    # 4. At small factors the schedulers are comparable (paper: "except for
+    #    some small values ... both task schedulers perform comparably").
+    first = result.points[0]
+    assert first.time_ratio == pytest.approx(1.0, abs=0.25)

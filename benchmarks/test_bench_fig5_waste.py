@@ -1,0 +1,48 @@
+"""Figure 5(c, d) — processor waste of individual jobs vs transition factor.
+
+Paper: ABG wastes roughly 50% fewer processor cycles than A-Greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ExperimentTable, format_table
+
+from conftest import emit
+from test_bench_fig5_time import fig5_result
+
+
+def test_bench_fig5_waste(benchmark, full_scale):
+    result = benchmark.pedantic(
+        fig5_result, args=(full_scale,), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Figure 5(c,d) — waste/T1 per scheduler and A-Greedy/ABG ratio",
+                columns=(
+                    "transition_factor",
+                    "abg_waste_norm",
+                    "agreedy_waste_norm",
+                    "waste_ratio",
+                ),
+                rows=tuple(result.points),
+            )
+        )
+    )
+    emit(
+        f"mean waste ratio {result.mean_waste_ratio:.3f} -> ABG reduction "
+        f"{100 * result.mean_waste_reduction:.1f}% (paper: ~50%)"
+    )
+
+    # Shape assertions against Figure 5(c,d):
+    # 1. ABG cuts waste by roughly half on average.
+    assert 0.30 <= result.mean_waste_reduction <= 0.70
+    # 2. ABG wins at (almost) every factor.
+    ratios = [p.waste_ratio for p in result.points]
+    assert np.mean([r > 1.0 for r in ratios]) >= 0.9
+    # 3. ABG's normalized waste stays below A-Greedy's on average.
+    assert np.mean([p.abg_waste_norm for p in result.points]) < np.mean(
+        [p.agreedy_waste_norm for p in result.points]
+    )

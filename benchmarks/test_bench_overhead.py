@@ -1,0 +1,42 @@
+"""Reallocation-overhead bench — the cost of A-Greedy's instability.
+
+Extension of the paper's argument (Sections 1, 4): charging for processor
+reallocations must widen ABG's advantage, because its requests settle while
+A-Greedy's oscillate forever.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentTable, format_table, run_overhead_study
+
+from conftest import emit
+
+
+def test_bench_overhead(benchmark):
+    rows = benchmark.pedantic(run_overhead_study, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Reallocation overhead sweep (steps per migrated processor)",
+                columns=(
+                    "per_processor_cost",
+                    "abg_time_norm",
+                    "agreedy_time_norm",
+                    "time_ratio",
+                    "abg_reallocations",
+                    "agreedy_reallocations",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    free = rows[0]
+    costly = rows[-1]
+    # ABG's running-time advantage widens with the migration cost
+    assert costly.time_ratio > free.time_ratio + 0.1
+    # A-Greedy reallocates far more often, and increasingly so
+    for r in rows:
+        assert r.agreedy_reallocations > r.abg_reallocations
+    assert costly.agreedy_reallocations > free.agreedy_reallocations
+    # ABG's own slowdown from overhead stays moderate
+    assert costly.abg_time_norm < free.abg_time_norm * 1.25

@@ -1,0 +1,33 @@
+"""Work-stealing bench — ABG vs A-Steal vs ABP (paper Section 8 claim:
+feedback-driven A-Steal far outperforms feedback-free ABP)."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentTable, format_table, run_stealing_compare
+
+from conftest import emit
+
+
+def test_bench_stealing(benchmark):
+    rows = benchmark.pedantic(run_stealing_compare, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Work stealing — ABG vs A-Steal vs ABP (fork-join dags)",
+                columns=(
+                    "scheduler",
+                    "time_norm",
+                    "waste_norm",
+                    "avg_allotment",
+                    "steal_success_rate",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    by_name = {r.scheduler: r for r in rows}
+    # the related-work ordering on waste: ABG <= A-Steal << ABP
+    assert by_name["ABG"].waste_norm <= by_name["A-Steal"].waste_norm
+    assert by_name["A-Steal"].waste_norm < by_name["ABP"].waste_norm / 3
+    # ABP holds the whole machine; the adaptive schedulers release it
+    assert by_name["ABP"].avg_allotment > 3 * by_name["A-Steal"].avg_allotment

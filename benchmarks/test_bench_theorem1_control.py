@@ -1,0 +1,44 @@
+"""Theorem 1 — control-theoretic property table (analytic + simulated)."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentTable, format_table, run_theorem1
+
+from conftest import emit
+
+
+def test_bench_theorem1(benchmark):
+    rows = benchmark(lambda: run_theorem1(parallelisms=(5, 10, 50), rates=(0.0, 0.2, 0.5)))
+    emit(
+        format_table(
+            ExperimentTable(
+                title="Theorem 1 — BIBO / steady-state error / overshoot / rate",
+                columns=(
+                    "policy",
+                    "parallelism",
+                    "convergence_rate",
+                    "analytic_holds",
+                    "sim_steady_state_error",
+                    "sim_overshoot",
+                    "sim_convergence_rate",
+                    "sim_oscillation",
+                ),
+                rows=tuple(rows),
+            )
+        )
+    )
+    abg = [r for r in rows if r.policy.startswith("ABG")]
+    agreedy = [r for r in rows if r.policy == "A-Greedy"]
+    # Theorem 1 holds analytically and in simulation for every (A, r)
+    for r in abg:
+        assert r.analytic_holds
+        assert r.sim_steady_state_error <= 0.01 * r.parallelism
+        assert r.sim_overshoot <= 0.01 * r.parallelism
+        assert r.sim_oscillation <= 0.05 * r.parallelism
+    # ... and visibly fails for A-Greedy (Figure 4(b)'s pathology)
+    for r in agreedy:
+        # the tail-mean can land near A, but the error never reaches zero and
+        # the oscillation (the defining pathology) stays a large fraction of A
+        assert r.sim_steady_state_error > 0.0
+        assert r.sim_overshoot >= 0.3 * r.parallelism
+        assert r.sim_oscillation >= 0.5 * r.parallelism

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Trace export, reload, and offline analysis.
+
+A pattern for longer studies: run the (possibly expensive) simulation once,
+persist the full quantum traces as versioned JSON, then analyze offline —
+timelines, trim analysis, transition factors — without re-simulating.
+
+Run:  python examples/export_and_replay.py [--dir /tmp/abg-traces]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AControl,
+    AGreedy,
+    ForkJoinGenerator,
+    classify_quanta,
+    load_trace,
+    measured_transition_factor,
+    save_trace,
+    simulate_job,
+)
+from repro.report import allotment_strip
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="/tmp/abg-traces")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+    out = Path(args.dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    # --- simulate once, save ------------------------------------------------
+    rng = np.random.default_rng(args.seed)
+    job = ForkJoinGenerator(quantum_length=1000).generate(rng, transition_factor=24)
+    paths = {}
+    for policy in (AControl(0.2), AGreedy()):
+        trace = simulate_job(job, policy, 128, quantum_length=1000)
+        path = out / f"{policy.name.split('(')[0].lower().replace('-', '')}.json"
+        save_trace(trace, path)
+        paths[policy.name] = path
+        print(f"saved {len(trace)} quanta -> {path}")
+
+    # --- reload and analyze offline ------------------------------------------
+    for name, path in paths.items():
+        trace = load_trace(path)
+        classes = classify_quanta(trace)
+        print(f"\n=== {name} (reloaded from {path.name}) ===")
+        print(allotment_strip(trace))
+        print(f"running time {trace.running_time}, waste {trace.total_waste}, "
+              f"CL {measured_transition_factor(trace):.1f}, "
+              f"quanta acc/ded/nonfull = {classes.counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""OS-allocator interfaces.
+
+Two shapes of allocation appear in the paper:
+
+- *Single job* (Figure 5 experiments): the job is alone on the machine and the
+  allocator's "system policy" reduces to a per-quantum availability ``p(q)``;
+  the conservative rule ``a(q) = min(d(q), p(q))`` does the rest.  Trim
+  analysis (Section 6.1) explicitly treats this availability as adversarial.
+  :class:`AvailabilityPolicy` captures it.
+- *Multiprogrammed* (Figure 6 experiments): a set of jobs space-shares ``P``
+  processors and the allocator divides them per quantum from the jobs'
+  requests.  :class:`Allocator` captures it; implementations must say whether
+  they are *fair* (equal shares unless a job asks for less) and
+  *non-reserving* (no processor idles while someone wants more) — the two
+  properties Theorem 5 requires.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from ..core.types import QuantumRecord
+
+__all__ = ["AvailabilityPolicy", "Allocator", "validate_allocation"]
+
+
+class AvailabilityPolicy(ABC):
+    """Per-quantum processor availability ``p(q)`` for a single job."""
+
+    @abstractmethod
+    def available(self, q: int, prev: QuantumRecord | None) -> int:
+        """Processors available in quantum ``q`` (>= 1); ``prev`` is the
+        job's previous quantum record (``None`` for ``q = 1``), letting
+        adversarial policies react to the job's observed behaviour."""
+
+
+class Allocator(ABC):
+    """Divides ``total`` processors among jobs' integer requests each quantum."""
+
+    #: Whether the policy gives all jobs equal shares unless a job requests
+    #: fewer (paper Section 5.1 footnote).
+    fair: bool = False
+
+    #: Whether the policy never keeps a processor idle while some job
+    #: requests more.
+    non_reserving: bool = False
+
+    @abstractmethod
+    def allocate(self, requests: Mapping[int, int], total: int) -> dict[int, int]:
+        """Map each job id to its allotment.
+
+        Must be *conservative* (``alloc[j] <= requests[j]``), never exceed
+        ``total`` in aggregate, and give every job at least one processor
+        whenever ``len(requests) <= total`` (the paper's standing assumption
+        ``|J| <= P``).
+        """
+
+
+def validate_allocation(
+    requests: Mapping[int, int], alloc: Mapping[int, int], total: int
+) -> None:
+    """Assert the invariants every allocator must satisfy (used by tests and
+    the simulator's internal checks)."""
+    if set(alloc) != set(requests):
+        raise AssertionError("allocation must cover exactly the requesting jobs")
+    if sum(alloc.values()) > total:
+        raise AssertionError("allocated more processors than exist")
+    for j, a in alloc.items():
+        if a < 0:
+            raise AssertionError(f"job {j} got a negative allotment")
+        if a > requests[j]:
+            raise AssertionError(f"job {j} got more than it requested (not conservative)")
+    if len(requests) <= total and any(a < 1 for a in alloc.values()):
+        raise AssertionError("with |J| <= P every job must receive a processor")

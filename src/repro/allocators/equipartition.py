@@ -1,0 +1,69 @@
+"""Dynamic equi-partitioning (DEQ) — McCann, Vaswani, Zahorjan (1993).
+
+The fair, non-reserving allocator the paper couples ABG with for the
+multiprogrammed experiments (Sections 6.3, 7): each quantum every job is
+offered an equal share of the ``P`` processors; jobs requesting less than
+their share get exactly their request, and the processors they decline are
+redistributed equally among the still-unsatisfied jobs, repeating until every
+job is satisfied or the equal share is exhausted.
+
+When the final equal share does not divide evenly, the leftover processors
+are handed one each to the unsatisfied jobs in a rotating order so no job is
+systematically favored across quanta.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .base import Allocator
+
+__all__ = ["DynamicEquiPartitioning"]
+
+
+class DynamicEquiPartitioning(Allocator):
+    """Fair and non-reserving processor allocation."""
+
+    fair = True
+    non_reserving = True
+
+    def __init__(self) -> None:
+        self._rotation = 0
+
+    def allocate(self, requests: Mapping[int, int], total: int) -> dict[int, int]:
+        if total < 1:
+            raise ValueError("need at least one processor")
+        for j, d in requests.items():
+            if d < 1:
+                raise ValueError(f"job {j} must request at least one processor")
+        if len(requests) > total:
+            raise ValueError(
+                f"DEQ requires |J| <= P (got {len(requests)} jobs, {total} processors)"
+            )
+        if not requests:
+            return {}
+
+        alloc = {j: 0 for j in requests}
+        remaining = total
+        unsat = sorted(requests)  # stable job-id order
+        while unsat:
+            share = remaining // len(unsat)
+            low = [j for j in unsat if requests[j] <= share]
+            if low:
+                # Satisfied jobs take their (smaller) request; their declined
+                # share is redistributed in the next round.
+                for j in low:
+                    alloc[j] = requests[j]
+                    remaining -= requests[j]
+                unsat = [j for j in unsat if requests[j] > share]
+                continue
+            # Everyone left wants more than the equal share: split evenly and
+            # rotate the remainder.
+            extra = remaining - share * len(unsat)
+            offset = self._rotation % len(unsat)
+            for i, j in enumerate(unsat):
+                bonus = 1 if (i - offset) % len(unsat) < extra else 0
+                alloc[j] = share + bonus
+            self._rotation += 1
+            break
+        return alloc

@@ -1,0 +1,50 @@
+"""Round-robin allocation — an equal-share policy without redistribution.
+
+He et al. [11, 12] also analyze task schedulers coupled with a round-robin
+allocator.  Each quantum every job is offered the same fixed share
+``floor(P / |J|)`` (with the remainder rotated), capped by its request;
+processors declined by small jobs are *not* redistributed, so the policy is
+fair but not non-reserving.  It serves as the contrast case for DEQ in the
+allocator ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .base import Allocator
+
+__all__ = ["RoundRobinAllocator"]
+
+
+class RoundRobinAllocator(Allocator):
+    """Equal shares, remainder rotated, declined processors left idle."""
+
+    fair = True
+    non_reserving = False
+
+    def __init__(self) -> None:
+        self._rotation = 0
+
+    def allocate(self, requests: Mapping[int, int], total: int) -> dict[int, int]:
+        if total < 1:
+            raise ValueError("need at least one processor")
+        for j, d in requests.items():
+            if d < 1:
+                raise ValueError(f"job {j} must request at least one processor")
+        if len(requests) > total:
+            raise ValueError(
+                f"round-robin requires |J| <= P (got {len(requests)} jobs, {total} processors)"
+            )
+        if not requests:
+            return {}
+        jobs = sorted(requests)
+        n = len(jobs)
+        share, extra = divmod(total, n)
+        offset = self._rotation % n
+        self._rotation += 1
+        alloc: dict[int, int] = {}
+        for i, j in enumerate(jobs):
+            bonus = 1 if (i - offset) % n < extra else 0
+            alloc[j] = min(requests[j], share + bonus)
+        return alloc

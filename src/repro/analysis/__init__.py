@@ -1,0 +1,49 @@
+"""Algorithmic analysis: trim analysis, transition factors, and the paper's
+theorem bounds evaluated on measured traces."""
+
+from .characteristics import (
+    ParallelismCharacteristics,
+    job_structure_characteristics,
+    trace_characteristics,
+)
+from .bounds import (
+    Lemma2Report,
+    Theorem3Report,
+    check_lemma2,
+    lemma2_coefficients,
+    theorem3_time_bound,
+    theorem3_trim_steps,
+    theorem4_waste_bound,
+    theorem5_makespan_bound,
+    theorem5_response_bound,
+)
+from .transition import (
+    job_set_transition_factor,
+    measured_transition_factor,
+    parallelism_transitions,
+)
+from .speedup import SpeedupReport, speedup_report
+from .trim import QuantumClasses, classify_quanta, trimmed_availability
+
+__all__ = [
+    "ParallelismCharacteristics",
+    "trace_characteristics",
+    "job_structure_characteristics",
+    "SpeedupReport",
+    "speedup_report",
+    "QuantumClasses",
+    "classify_quanta",
+    "trimmed_availability",
+    "measured_transition_factor",
+    "job_set_transition_factor",
+    "parallelism_transitions",
+    "lemma2_coefficients",
+    "check_lemma2",
+    "Lemma2Report",
+    "theorem3_trim_steps",
+    "theorem3_time_bound",
+    "Theorem3Report",
+    "theorem4_waste_bound",
+    "theorem5_makespan_bound",
+    "theorem5_response_bound",
+]

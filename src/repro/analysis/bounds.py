@@ -1,0 +1,198 @@
+"""Closed-form right-hand sides of the paper's bounds (Lemma 2, Theorems
+3-5) and checkers that evaluate them against measured traces.
+
+All formulas take the transition factor ``CL`` and ABG's convergence rate
+``r``.  Lemma 2's upper bound and Theorems 4-5 additionally require
+``r < 1/CL``; the functions raise ``ValueError`` when the requirement is
+violated rather than returning a meaningless number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import JobTrace
+from .trim import trimmed_availability
+
+__all__ = [
+    "lemma2_coefficients",
+    "check_lemma2",
+    "Lemma2Report",
+    "theorem3_trim_steps",
+    "theorem3_time_bound",
+    "Theorem3Report",
+    "theorem4_waste_bound",
+    "theorem5_makespan_bound",
+    "theorem5_response_bound",
+]
+
+
+def _require_rate(transition_factor: float, convergence_rate: float) -> None:
+    if transition_factor < 1.0:
+        raise ValueError("transition factor is at least 1 by definition")
+    if not (0.0 <= convergence_rate < 1.0):
+        raise ValueError("convergence rate must lie in [0, 1)")
+
+
+def _require_strict_rate(transition_factor: float, convergence_rate: float) -> None:
+    _require_rate(transition_factor, convergence_rate)
+    if convergence_rate * transition_factor >= 1.0:
+        raise ValueError(
+            f"bound requires r < 1/CL (got r={convergence_rate}, CL={transition_factor})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2: request/parallelism ratio bounds
+# ---------------------------------------------------------------------------
+
+
+def lemma2_coefficients(transition_factor: float, convergence_rate: float) -> tuple[float, float]:
+    """``(low, high)`` with ``low * A(q) <= d(q) <= high * A(q)`` on full
+    quanta: ``low = (1-r)/(CL-r)`` and ``high = CL(1-r)/(1-CL*r)``."""
+    _require_strict_rate(transition_factor, convergence_rate)
+    c, r = transition_factor, convergence_rate
+    return (1.0 - r) / (c - r), c * (1.0 - r) / (1.0 - c * r)
+
+
+@dataclass(frozen=True, slots=True)
+class Lemma2Report:
+    low: float
+    high: float
+    violations: tuple[int, ...]
+    """Indices of full quanta violating either inequality (empty when the
+    lemma holds on the trace)."""
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+def check_lemma2(
+    trace: JobTrace,
+    convergence_rate: float,
+    *,
+    transition_factor: float | None = None,
+    rtol: float = 1e-9,
+) -> Lemma2Report:
+    """Verify Lemma 2 on a measured trace.
+
+    ``transition_factor`` defaults to the trace's measured ``CL``.
+    """
+    c = transition_factor if transition_factor is not None else trace.measured_transition_factor()
+    low, high = lemma2_coefficients(c, convergence_rate)
+    violations = []
+    for rec in trace.full_quanta:
+        a = rec.avg_parallelism
+        if a <= 0:
+            continue
+        if rec.request < low * a * (1 - rtol) or rec.request > high * a * (1 + rtol):
+            violations.append(rec.index)
+    return Lemma2Report(low=low, high=high, violations=tuple(violations))
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3: running time under trim analysis
+# ---------------------------------------------------------------------------
+
+
+def theorem3_trim_steps(
+    span: float, quantum_length: int, transition_factor: float, convergence_rate: float
+) -> float:
+    """The trim amount ``(CL + 1 - 2r)/(1 - r) * Tinf + L``."""
+    _require_rate(transition_factor, convergence_rate)
+    c, r = transition_factor, convergence_rate
+    return (c + 1.0 - 2.0 * r) / (1.0 - r) * span + quantum_length
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem3Report:
+    running_time: int
+    bound: float
+    trimmed_availability: float
+    trim_steps: float
+
+    @property
+    def holds(self) -> bool:
+        return self.running_time <= self.bound
+
+
+def theorem3_time_bound(
+    trace: JobTrace,
+    work: int,
+    span: float,
+    convergence_rate: float,
+    *,
+    transition_factor: float | None = None,
+) -> Theorem3Report:
+    """Evaluate Theorem 3's right-hand side
+    ``2*T1/P~ + (CL+1-2r)/(1-r)*Tinf + L`` against a measured trace."""
+    c = transition_factor if transition_factor is not None else trace.measured_transition_factor()
+    _require_rate(c, convergence_rate)
+    L = trace.quantum_length
+    r = convergence_rate
+    trim = theorem3_trim_steps(span, L, c, r)
+    p_trimmed = trimmed_availability(trace, trim)
+    span_term = (c + 1.0 - 2.0 * r) / (1.0 - r) * span + L
+    if p_trimmed <= 0.0:
+        bound = float("inf")  # trimming swallowed the run: bound is vacuous
+    else:
+        bound = 2.0 * work / p_trimmed + span_term
+    return Theorem3Report(
+        running_time=trace.running_time,
+        bound=bound,
+        trimmed_availability=p_trimmed,
+        trim_steps=trim,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: processor waste
+# ---------------------------------------------------------------------------
+
+
+def theorem4_waste_bound(
+    work: int,
+    processors: int,
+    quantum_length: int,
+    transition_factor: float,
+    convergence_rate: float,
+) -> float:
+    """``W <= CL(1-r)/(1-CL*r) * T1 + P*L``."""
+    _require_strict_rate(transition_factor, convergence_rate)
+    c, r = transition_factor, convergence_rate
+    return c * (1.0 - r) / (1.0 - c * r) * work + processors * quantum_length
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5: makespan and mean response time
+# ---------------------------------------------------------------------------
+
+
+def theorem5_makespan_bound(
+    makespan_lower: float,
+    num_jobs: int,
+    quantum_length: int,
+    transition_factor: float,
+    convergence_rate: float,
+) -> float:
+    """``M <= ((CL+1-2CL*r)/(1-CL*r) + (CL+1-2r)/(1-r)) * M* + L*(|J|+2)``."""
+    _require_strict_rate(transition_factor, convergence_rate)
+    c, r = transition_factor, convergence_rate
+    coeff = (c + 1.0 - 2.0 * c * r) / (1.0 - c * r) + (c + 1.0 - 2.0 * r) / (1.0 - r)
+    return coeff * makespan_lower + quantum_length * (num_jobs + 2)
+
+
+def theorem5_response_bound(
+    response_lower: float,
+    num_jobs: int,
+    quantum_length: int,
+    transition_factor: float,
+    convergence_rate: float,
+) -> float:
+    """``R <= ((2CL+2-4CL*r)/(1-CL*r) + (CL+1-2r)/(1-r)) * R* + L*(|J|+2)``
+    for batched job sets."""
+    _require_strict_rate(transition_factor, convergence_rate)
+    c, r = transition_factor, convergence_rate
+    coeff = (2.0 * c + 2.0 - 4.0 * c * r) / (1.0 - c * r) + (c + 1.0 - 2.0 * r) / (1.0 - r)
+    return coeff * response_lower + quantum_length * (num_jobs + 2)

@@ -1,0 +1,361 @@
+"""Command-line interface: regenerate any of the paper's figures/tables.
+
+Usage::
+
+    python -m repro fig1 [--parallelism 10] [--quanta 16]
+    python -m repro fig2
+    python -m repro fig4 [--parallelism 10] [--rate 0.2]
+    python -m repro fig5 [--factors 2:101:7] [--jobs 50]
+    python -m repro fig6 [--sets 200] [--bins 12]
+    python -m repro theorem1
+    python -m repro bounds
+    python -m repro ablation-rate | ablation-quantum | ablation-discipline |
+                    ablation-allocator
+
+Every command prints the rows/series the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import fields
+
+from . import experiments as exp
+
+__all__ = ["main"]
+
+
+def _parse_range(spec: str) -> list[int]:
+    """``a:b[:step]`` → ``range(a, b, step)``; a single integer → ``[a]``."""
+    parts = spec.split(":")
+    if len(parts) == 1:
+        return [int(parts[0])]
+    if len(parts) == 2:
+        return list(range(int(parts[0]), int(parts[1])))
+    if len(parts) == 3:
+        return list(range(int(parts[0]), int(parts[1]), int(parts[2])))
+    raise argparse.ArgumentTypeError(f"bad range spec {spec!r}")
+
+
+def _rows_table(title: str, rows: list) -> str:
+    if not rows:
+        return f"{title}\n\n(no rows)"
+    columns = tuple(f.name for f in fields(rows[0]))
+    return exp.format_table(exp.ExperimentTable(title=title, columns=columns, rows=tuple(rows)))
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    r = exp.run_fig1(parallelism=args.parallelism, num_quanta=args.quanta)
+    lines = [
+        f"Figure 1 — A-Greedy request instability (constant parallelism "
+        f"{r.parallelism})",
+        "",
+        exp.format_series("quantum      ", [float(q) for q in r.quanta]),
+        exp.format_series("request d(q) ", r.requests),
+        exp.format_series("parallelism  ", r.measured_parallelism),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    r = exp.run_fig2()
+    return (
+        "Figure 2 — B-Greedy quantum measurement\n\n"
+        f"T1(q)  = {r.quantum_work}   (paper: {r.paper_work})\n"
+        f"Tinf(q) = {r.quantum_span}  (paper: {r.paper_span})\n"
+        f"A(q)   = {r.avg_parallelism} (paper: {r.paper_parallelism})\n"
+        f"matches paper: {r.matches_paper}"
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    abg, agreedy = exp.run_fig4(
+        parallelism=args.parallelism, convergence_rate=args.rate
+    )
+    lines = [
+        f"Figure 4 — transient behaviour, constant parallelism {abg.parallelism}",
+        "",
+        "(a) ABG:",
+        exp.format_series("  d(q)", abg.requests),
+        "",
+        "(b) A-Greedy:",
+        exp.format_series("  d(q)", agreedy.requests),
+    ]
+    if args.plot:
+        from .report import line_chart
+
+        lines.append("")
+        lines.append(
+            line_chart(
+                {
+                    "ABG": list(zip(abg.quanta, abg.requests)),
+                    "A-Greedy": list(zip(agreedy.quanta, agreedy.requests)),
+                    "parallelism": [
+                        (q, float(abg.parallelism)) for q in abg.quanta
+                    ],
+                },
+                title="d(q) per quantum",
+                x_label="quantum",
+                y_label="processor request",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    result = exp.run_fig5(factors=_parse_range(args.factors), jobs_per_factor=args.jobs)
+    if args.csv:
+        from .report import write_csv
+
+        write_csv(list(result.points), args.csv)
+    out = _rows_table("Figure 5 — individual jobs vs transition factor", list(result.points))
+    if args.plot:
+        from .report import line_chart
+
+        out += "\n\n" + line_chart(
+            {
+                "ABG": [(p.transition_factor, p.abg_time_norm) for p in result.points],
+                "A-Greedy": [
+                    (p.transition_factor, p.agreedy_time_norm) for p in result.points
+                ],
+            },
+            title="Figure 5(a) — running time / Tinf",
+            x_label="transition factor",
+            y_label="time / Tinf",
+        )
+        out += "\n\n" + line_chart(
+            {
+                "ABG": [(p.transition_factor, p.abg_waste_norm) for p in result.points],
+                "A-Greedy": [
+                    (p.transition_factor, p.agreedy_waste_norm) for p in result.points
+                ],
+            },
+            title="Figure 5(c) — waste / T1",
+            x_label="transition factor",
+            y_label="waste / T1",
+        )
+    out += (
+        f"\n\nmean A-Greedy/ABG running-time ratio: {result.mean_time_ratio:.3f}"
+        f"  (ABG improvement {100 * result.mean_time_improvement:.1f}%; paper: ~20%)"
+        f"\nmean A-Greedy/ABG waste ratio:        {result.mean_waste_ratio:.3f}"
+        f"  (ABG reduction {100 * result.mean_waste_reduction:.1f}%; paper: ~50%)"
+    )
+    return out
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    result = exp.run_fig6(num_sets=args.sets)
+    bins = exp.bin_by_load(result, num_bins=args.bins)
+    if args.csv:
+        from .report import write_csv
+
+        write_csv(list(result.points), args.csv)
+    out = _rows_table("Figure 6 — job sets vs load (binned)", bins)
+    if args.plot:
+        from .report import line_chart
+
+        mid = lambda b: (b.load_low + b.load_high) / 2
+        out += "\n\n" + line_chart(
+            {
+                "ABG": [(mid(b), b.abg_makespan_norm) for b in bins],
+                "A-Greedy": [(mid(b), b.agreedy_makespan_norm) for b in bins],
+            },
+            title="Figure 6(a) — makespan / M*",
+            x_label="load",
+            y_label="makespan / M*",
+        )
+        out += "\n\n" + line_chart(
+            {
+                "ABG": [(mid(b), b.abg_response_norm) for b in bins],
+                "A-Greedy": [(mid(b), b.agreedy_response_norm) for b in bins],
+            },
+            title="Figure 6(c) — mean response time / R*",
+            x_label="load",
+            y_label="response / R*",
+        )
+    light_m, light_r = result.light_load_ratios()
+    heavy_m, heavy_r = result.heavy_load_ratios()
+    out += (
+        f"\n\nlight load (<=1): A-Greedy/ABG makespan {light_m:.3f}, response {light_r:.3f}"
+        f"  (paper: 1.10-1.15)"
+        f"\nheavy load (>=4): A-Greedy/ABG makespan {heavy_m:.3f}, response {heavy_r:.3f}"
+        f"  (paper: ~1.0)"
+    )
+    return out
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> str:
+    return _rows_table("Theorem 1 — control-theoretic properties", exp.run_theorem1())
+
+
+def _cmd_bounds(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Lemma 2 / Theorems 3-5 — measured vs bounds", exp.run_bounds_check()
+    )
+
+
+def _cmd_ablation_rate(args: argparse.Namespace) -> str:
+    return _rows_table("Ablation — convergence rate", exp.run_rate_ablation())
+
+
+def _cmd_ablation_quantum(args: argparse.Namespace) -> str:
+    return _rows_table("Ablation — quantum length", exp.run_quantum_ablation())
+
+
+def _cmd_ablation_discipline(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Ablation — breadth-first vs FIFO greedy", exp.run_discipline_ablation()
+    )
+
+
+def _cmd_ablation_allocator(args: argparse.Namespace) -> str:
+    return _rows_table("Ablation — DEQ vs round-robin", exp.run_allocator_ablation())
+
+
+def _cmd_stealing(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Work stealing — ABG vs A-Steal vs ABP", exp.run_stealing_compare()
+    )
+
+
+def _cmd_arrivals(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Open system — Poisson arrivals (Theorem 5 makespan setting)",
+        exp.run_arrivals(),
+    )
+
+
+def _cmd_trim(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Trim analysis demo — speedup vs raw and trimmed availability",
+        exp.run_trim_demo(),
+    )
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    from .experiments.runner import run_everything
+
+    result = run_everything(args.out, scale=args.scale)
+    lines = [f"ran {len(result.outcomes)} experiments at scale '{result.scale}' "
+             f"in {result.total_seconds:.1f}s"]
+    for o in result.outcomes:
+        lines.append(f"  {o.name:<22} {o.rows:>4} rows  {o.seconds:>7.2f}s  -> {o.artifact}")
+    lines.append(f"report: {result.report_path}")
+    return "\n".join(lines)
+
+
+def _cmd_controllers(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Controller comparison — adaptive vs fixed gain vs A-Greedy",
+        exp.run_controller_compare(),
+    )
+
+
+def _cmd_overhead(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Reallocation-overhead study (cost of A-Greedy's instability)",
+        exp.run_overhead_study(),
+    )
+
+
+def _cmd_characteristics(args: argparse.Namespace) -> str:
+    return _rows_table(
+        "Job characteristics study (Section 9 future work)",
+        exp.run_characteristics_study(),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="abg-repro",
+        description="Reproduce the evaluation of 'Adaptive B-Greedy (ABG)' (IPPS 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="A-Greedy request instability")
+    p.add_argument("--parallelism", type=int, default=10)
+    p.add_argument("--quanta", type=int, default=16)
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="B-Greedy quantum measurement example")
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig4", help="ABG vs A-Greedy transient behaviour")
+    p.add_argument("--parallelism", type=int, default=10)
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--plot", action="store_true", help="draw an ASCII chart")
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="individual jobs vs transition factor")
+    p.add_argument("--factors", default="2:101:7", help="a:b[:step] transition factors")
+    p.add_argument("--jobs", type=int, default=50, help="jobs per factor")
+    p.add_argument("--plot", action="store_true", help="draw ASCII charts")
+    p.add_argument("--csv", default=None, help="write per-factor rows to CSV")
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="job sets vs load under DEQ")
+    p.add_argument("--sets", type=int, default=200, help="number of job sets")
+    p.add_argument("--bins", type=int, default=12)
+    p.add_argument("--plot", action="store_true", help="draw ASCII charts")
+    p.add_argument("--csv", default=None, help="write per-set rows to CSV")
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("theorem1", help="control-theoretic property table")
+    p.set_defaults(func=_cmd_theorem1)
+
+    p = sub.add_parser("bounds", help="Lemma 2 / Theorems 3-5 bound checks")
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("ablation-rate", help="convergence-rate sweep")
+    p.set_defaults(func=_cmd_ablation_rate)
+
+    p = sub.add_parser("ablation-quantum", help="quantum-length sweep + adaptive")
+    p.set_defaults(func=_cmd_ablation_quantum)
+
+    p = sub.add_parser("ablation-discipline", help="breadth-first vs FIFO greedy")
+    p.set_defaults(func=_cmd_ablation_discipline)
+
+    p = sub.add_parser("ablation-allocator", help="DEQ vs round-robin")
+    p.set_defaults(func=_cmd_ablation_allocator)
+
+    p = sub.add_parser("stealing", help="ABG vs A-Steal vs ABP (work stealing)")
+    p.set_defaults(func=_cmd_stealing)
+
+    p = sub.add_parser("arrivals", help="open system with Poisson releases")
+    p.set_defaults(func=_cmd_arrivals)
+
+    p = sub.add_parser(
+        "characteristics", help="alternative job characteristics study"
+    )
+    p.set_defaults(func=_cmd_characteristics)
+
+    p = sub.add_parser("overhead", help="reallocation-overhead sweep")
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser(
+        "controllers", help="adaptive vs fixed-gain integral controllers"
+    )
+    p.set_defaults(func=_cmd_controllers)
+
+    p = sub.add_parser("trim", help="trim-analysis speedup demonstration")
+    p.set_defaults(func=_cmd_trim)
+
+    p = sub.add_parser("all", help="run every experiment, write JSON + REPORT.md")
+    p.add_argument("--out", default="results", help="output directory")
+    p.add_argument(
+        "--scale", choices=("smoke", "reduced", "full"), default="reduced"
+    )
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

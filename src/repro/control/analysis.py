@@ -1,0 +1,118 @@
+"""Transient/steady-state metrics for request sequences (paper Section 4).
+
+The four criteria the paper scores adaptive schedulers on, computed on any
+request series (analytic or simulated) against a constant target parallelism:
+
+- **BIBO stability** — bounded reference implies bounded request.
+- **Steady-state error** — ``|d(q) - A|`` after sufficiently long time.
+- **Maximum overshoot** — max of ``d(q) - d_ss`` over the transient.
+- **Convergence rate** — ``r = |d(q+1) - A| / |d(q) - A)|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ResponseMetrics", "analyze_response"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseMetrics:
+    """Scores of one request sequence against a constant parallelism target."""
+
+    bounded: bool
+    """Whether the series stays within a reasonable multiple of the target
+    (empirical BIBO check)."""
+
+    steady_state_error: float
+    """``|mean of the tail - target|``."""
+
+    overshoot: float
+    """``max(0, max(d) - steady state)`` — 0 when the request never exceeds
+    its settling value."""
+
+    convergence_rate: float
+    """Mean observed ratio ``|d(q+1)-A| / |d(q)-A|`` over the transient
+    (NaN if the series starts at the target)."""
+
+    settling_quanta: int
+    """First index from which the request stays within ``tolerance`` of the
+    target (len(series) if it never settles)."""
+
+    oscillation_amplitude: float
+    """Peak-to-peak amplitude over the tail — the instability signature of
+    A-Greedy (0 for a converged series)."""
+
+
+def analyze_response(
+    requests: np.ndarray | list[float],
+    target: float,
+    *,
+    tolerance: float = 0.05,
+    tail_fraction: float = 0.5,
+    bound_factor: float = 100.0,
+) -> ResponseMetrics:
+    """Score a request series against a constant-parallelism target.
+
+    Parameters
+    ----------
+    requests:
+        The request sequence ``d(1..n)``; needs at least two entries.
+    target:
+        The job's constant average parallelism ``A``.
+    tolerance:
+        Relative band around the target that counts as settled.
+    tail_fraction:
+        Fraction of the series (from the end) treated as steady state.
+    bound_factor:
+        Empirical BIBO bound: the series counts as bounded if it never
+        exceeds ``bound_factor * max(target, d(1))``.
+    """
+    d = np.asarray(requests, dtype=np.float64)
+    if d.ndim != 1 or d.size < 2:
+        raise ValueError("need a 1-D request series with at least two quanta")
+    if target <= 0:
+        raise ValueError("target parallelism must be positive")
+    if not (0 < tail_fraction <= 1):
+        raise ValueError("tail_fraction must lie in (0, 1]")
+
+    bound = bound_factor * max(target, abs(d[0]))
+    bounded = bool(np.all(np.abs(d) <= bound))
+
+    tail_start = max(1, int(np.ceil(d.size * (1 - tail_fraction))))
+    tail = d[tail_start:] if tail_start < d.size else d[-1:]
+    steady_state = float(tail.mean())
+    sse = abs(steady_state - target)
+
+    overshoot = max(0.0, float(d.max()) - steady_state)
+
+    err = np.abs(d - target)
+    # Observed convergence rate over the transient: geometric mean of
+    # adjacent error ratios while the error is still meaningful.
+    meaningful = err[:-1] > tolerance * target
+    ratios = err[1:][meaningful] / err[:-1][meaningful]
+    if ratios.size:
+        positive = ratios[ratios > 0]
+        convergence = float(np.exp(np.mean(np.log(positive)))) if positive.size else 0.0
+    else:
+        convergence = float("nan")
+
+    within = err <= tolerance * target
+    settling = int(d.size)
+    for i in range(d.size):
+        if np.all(within[i:]):
+            settling = i
+            break
+
+    oscillation = float(tail.max() - tail.min())
+
+    return ResponseMetrics(
+        bounded=bounded,
+        steady_state_error=sse,
+        overshoot=overshoot,
+        convergence_rate=convergence,
+        settling_quanta=settling,
+        oscillation_amplitude=oscillation,
+    )

@@ -1,0 +1,74 @@
+"""Alternative request controllers — why A-Control's *adaptive* gain matters.
+
+A-Control is a self-tuning regulator: the integral gain is re-placed every
+quantum at ``K(q) = (1-r) * A(q-1)`` (Theorem 1).  A natural question the
+paper leaves implicit: what if the gain were fixed, tuned once for an
+expected parallelism ``A0``?
+
+The closed loop for actual parallelism ``A`` has pole ``p0 = 1 - K/A``:
+
+- ``A = A0``: pole at ``r`` — behaves exactly like ABG;
+- ``A >> A0``: pole near 1 — stable but *sluggish* (the controller barely
+  reacts, requests crawl toward the parallelism);
+- ``A << A0``: ``K/A > 1 - r``; once ``K/A > 2`` the pole leaves the unit
+  circle and the request *oscillates divergently* (clamped in practice by
+  the 1-processor floor and the machine size, i.e. a bang-bang limit
+  cycle far worse than A-Greedy's).
+
+:class:`FixedGainIntegral` implements that controller as a
+:class:`~repro.core.feedback.FeedbackPolicy`; the controller-comparison
+experiment quantifies all three regimes against A-Control.
+"""
+
+from __future__ import annotations
+
+from ..core.feedback import FeedbackPolicy
+from ..core.types import QuantumRecord
+
+__all__ = ["FixedGainIntegral", "tuned_gain"]
+
+
+def tuned_gain(expected_parallelism: float, convergence_rate: float = 0.2) -> float:
+    """The gain a designer would pick for an expected parallelism ``A0``
+    using Theorem 1's placement: ``K = (1 - r) * A0``."""
+    if expected_parallelism <= 0:
+        raise ValueError("expected parallelism must be positive")
+    if not (0.0 <= convergence_rate < 1.0):
+        raise ValueError("convergence rate must lie in [0, 1)")
+    return (1.0 - convergence_rate) * expected_parallelism
+
+
+class FixedGainIntegral(FeedbackPolicy):
+    """Integral controller with a constant gain (no self-tuning).
+
+    Implements ``d(q+1) = d(q) + K * (1 - d(q) / A(q))`` with fixed ``K`` —
+    the same control law as A-Control but without the per-quantum gain
+    reset.  Requests are clamped to ``[1, request_cap]`` (real controllers
+    saturate at the machine size instead of diverging to infinity).
+    """
+
+    def __init__(self, gain: float, *, request_cap: float = 1e6):
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        if request_cap < 1:
+            raise ValueError("request cap must be at least 1")
+        self.gain = float(gain)
+        self.request_cap = float(request_cap)
+        self.name = f"FixedGain(K={self.gain:g})"
+
+    def next_request(self, prev: QuantumRecord) -> float:
+        a_prev = prev.avg_parallelism
+        if a_prev <= 0.0:
+            return prev.request
+        error = 1.0 - prev.request / a_prev
+        d = prev.request + self.gain * error
+        return min(self.request_cap, max(1.0, d))
+
+    def closed_loop_pole(self, parallelism: float) -> float:
+        """Pole of the loop this controller closes around parallelism ``A``."""
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        return 1.0 - self.gain / parallelism
+
+    def is_stable_for(self, parallelism: float) -> bool:
+        return abs(self.closed_loop_pole(parallelism)) < 1.0

@@ -1,0 +1,109 @@
+"""Limit-cycle analysis of A-Greedy's request dynamics.
+
+A-Greedy's request law on a constant-parallelism job is a piecewise
+multiplicative map.  Let the job's parallelism be ``A``, the responsiveness
+``rho`` and the utilization threshold ``delta``.  On an unconstrained
+machine a request ``d <= A`` uses every allotted cycle (utilization 1 >=
+delta) and is satisfied, so it multiplies to ``rho * d``; a request
+``d > A / delta`` achieves utilization ``A/d < delta`` and divides to
+``d / rho``.  Requests in between (``A < d <= A/delta``) are still efficient
+and keep multiplying.
+
+Iterating from ``d(1) = 1`` therefore climbs the ``rho``-powers until it
+crosses the inefficiency boundary, then falls back — and because crossing
+down by one ``rho`` division always re-enters the efficient region, the map
+settles into a period-2 orbit.  This module computes that orbit in closed
+form, quantifying Figure 1/4(b) analytically (the instability ABG's
+Theorem 1 eliminates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AGreedyLimitCycle", "agreedy_limit_cycle", "iterate_agreedy_requests"]
+
+
+@dataclass(frozen=True, slots=True)
+class AGreedyLimitCycle:
+    """The period-2 orbit of A-Greedy's request map on constant parallelism."""
+
+    low: float
+    high: float
+    onset_quantum: int
+    """First quantum index (1-based) at which the orbit is entered."""
+
+    @property
+    def amplitude(self) -> float:
+        return self.high - self.low
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def steady_state_gap(self, parallelism: float) -> float:
+        """Worst-case distance of the orbit from the target parallelism —
+        A-Greedy's irreducible steady-state error."""
+        return max(abs(self.high - parallelism), abs(self.low - parallelism))
+
+
+def iterate_agreedy_requests(
+    parallelism: float,
+    num_quanta: int,
+    *,
+    responsiveness: float = 2.0,
+    utilization_threshold: float = 0.8,
+    d1: float = 1.0,
+) -> list[float]:
+    """Iterate the unconstrained-machine request map ``d -> rho*d`` while
+    efficient (``A/d >= delta``, including ``d <= A`` where utilization is
+    1), ``d -> d/rho`` once inefficient."""
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if num_quanta < 1:
+        raise ValueError("need at least one quantum")
+    rho, delta = responsiveness, utilization_threshold
+    out = []
+    d = float(d1)
+    for _ in range(num_quanta):
+        out.append(d)
+        utilization = min(1.0, parallelism / d)
+        if utilization < delta:
+            d = max(1.0, d / rho)
+        else:
+            d = d * rho
+    return out
+
+
+def agreedy_limit_cycle(
+    parallelism: float,
+    *,
+    responsiveness: float = 2.0,
+    utilization_threshold: float = 0.8,
+    d1: float = 1.0,
+) -> AGreedyLimitCycle:
+    """Closed-form period-2 orbit of the map started at ``d1``.
+
+    Starting from ``d1`` the request multiplies by ``rho`` each quantum
+    until it first exceeds ``A / delta``; call that value ``high = d1 *
+    rho**k`` with the smallest such ``k``.  From there the orbit alternates
+    ``high -> high/rho -> high -> ...`` provided ``high / rho`` is efficient,
+    which holds because ``high / rho <= A/delta`` by minimality of ``k``.
+
+    Degenerate case: if ``rho * d1`` is never inefficient the map has no
+    finite orbit (cannot happen for finite ``A``).
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    rho, delta = responsiveness, utilization_threshold
+    boundary = parallelism / delta  # requests strictly above this halve
+    # smallest k with d1 * rho**k > boundary
+    k = max(0, math.floor(math.log(boundary / d1, rho)) + 1)
+    high = d1 * rho**k
+    # guard against float edge: ensure strictly inefficient
+    while min(1.0, parallelism / high) >= delta:
+        k += 1
+        high = d1 * rho**k
+    low = high / rho
+    return AGreedyLimitCycle(low=low, high=high, onset_quantum=k + 1)

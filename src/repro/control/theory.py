@@ -1,0 +1,95 @@
+"""Closed-form statements of Theorem 1 and helpers to verify them.
+
+Theorem 1: with controller gain ``K = (1 - r) * A`` for ``r in [0, 1)`` and a
+job of constant average parallelism ``A``, the processor requests satisfy
+
+1. BIBO stability              (pole ``p0 = r``, ``|r| < 1``),
+2. zero steady-state error     (dc gain 1),
+3. zero overshoot              (monotone geometric approach from below when
+                                ``d(1) <= A``),
+4. convergence rate exactly ``r`` (``|d(q+1)-A| = r * |d(q)-A|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lti import FirstOrderLoop
+
+__all__ = ["theorem1_gain", "theorem1_loop", "Theorem1Verdict", "verify_theorem1"]
+
+
+def theorem1_gain(parallelism: float, convergence_rate: float) -> float:
+    """``K = (1 - r) * A`` — the pole-placement gain of Theorem 1."""
+    if parallelism <= 0:
+        raise ValueError("parallelism must be positive")
+    if not (0.0 <= convergence_rate < 1.0):
+        raise ValueError("convergence rate must lie in [0, 1)")
+    return (1.0 - convergence_rate) * parallelism
+
+
+def theorem1_loop(parallelism: float, convergence_rate: float) -> FirstOrderLoop:
+    """The closed loop Theorem 1 analyzes, with its pole placed at ``r``."""
+    return FirstOrderLoop(
+        parallelism=parallelism,
+        gain=theorem1_gain(parallelism, convergence_rate),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Verdict:
+    """Outcome of numerically verifying Theorem 1's four properties."""
+
+    bibo_stable: bool
+    zero_steady_state_error: bool
+    zero_overshoot: bool
+    convergence_rate_matches: bool
+    measured_rate: float
+
+    @property
+    def holds(self) -> bool:
+        return (
+            self.bibo_stable
+            and self.zero_steady_state_error
+            and self.zero_overshoot
+            and self.convergence_rate_matches
+        )
+
+
+def verify_theorem1(
+    parallelism: float,
+    convergence_rate: float,
+    *,
+    num_quanta: int = 64,
+    d1: float = 1.0,
+    atol: float = 1e-9,
+) -> Theorem1Verdict:
+    """Numerically check Theorem 1 on the analytic request sequence."""
+    loop = theorem1_loop(parallelism, convergence_rate)
+    d = loop.request_response(num_quanta, d1=d1)
+    err = np.abs(d - parallelism)
+
+    bibo = loop.is_bibo_stable and bool(np.all(np.isfinite(d)))
+    # steady-state error: the error must vanish geometrically
+    zero_sse = bool(err[-1] <= max(atol, err[0] * convergence_rate ** (num_quanta - 1) + atol))
+    # overshoot: starting below A, the request must never exceed A
+    zero_overshoot = bool(np.all(d <= parallelism + atol)) if d1 <= parallelism else True
+    # rate: adjacent error ratio equals r exactly (until the error is so
+    # small that float rounding dominates the ratio)
+    meaningful = err[:-1] > max(atol, 1e-9 * parallelism)
+    if np.any(meaningful):
+        ratios = err[1:][meaningful] / err[:-1][meaningful]
+        measured = float(ratios.mean())
+        rate_ok = bool(np.allclose(ratios, convergence_rate, atol=1e-5))
+    else:
+        measured = convergence_rate
+        rate_ok = True
+    return Theorem1Verdict(
+        bibo_stable=bibo,
+        zero_steady_state_error=zero_sse,
+        zero_overshoot=zero_overshoot,
+        convergence_rate_matches=rate_ok,
+        measured_rate=measured,
+    )

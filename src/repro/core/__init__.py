@@ -1,0 +1,31 @@
+"""Core of the reproduction: per-quantum records, feedback policies, and
+quantum-length policies.
+
+``AControl`` + breadth-first execution = ABG; ``AGreedy`` + greedy execution
+is the paper's baseline.
+"""
+
+from .abg import AControl
+from .agreedy import AGreedy
+from .feedback import FeedbackPolicy
+from .overhead import NO_OVERHEAD, ReallocationOverhead
+from .quantum_policy import AdaptiveQuantumLength, FixedQuantumLength, QuantumLengthPolicy
+from .reference import FixedRequest, OracleFeedback
+from .types import JobTrace, QuantumRecord, integer_request, transition_factor_of_series
+
+__all__ = [
+    "AControl",
+    "AGreedy",
+    "FeedbackPolicy",
+    "ReallocationOverhead",
+    "NO_OVERHEAD",
+    "FixedRequest",
+    "OracleFeedback",
+    "QuantumRecord",
+    "JobTrace",
+    "integer_request",
+    "transition_factor_of_series",
+    "QuantumLengthPolicy",
+    "FixedQuantumLength",
+    "AdaptiveQuantumLength",
+]

@@ -1,0 +1,58 @@
+"""A-Control: ABG's processor-request calculator (paper Sections 3-4).
+
+A-Control is a self-tuning integral controller.  The loop (Figure 3) compares
+the normalized output ``y(q) = d(q) / A(q)`` against the unit-step reference
+``r(q) = 1`` and integrates the error with a per-quantum gain:
+
+    d(q+1) = d(q) + K(q+1) * e(q),        e(q) = 1 - d(q) / A(q).
+
+Theorem 1 places the closed-loop pole at the desired convergence rate ``r``
+by choosing ``K(q) = (1 - r) * A(q-1)``, which collapses the control law to
+the request recurrence actually implemented (Equation 3):
+
+    d(q) = r * d(q-1) + (1 - r) * A(q-1),     d(1) = 1.
+
+``r = 0`` is one-step convergence: ``d(q) = A(q-1)``.
+"""
+
+from __future__ import annotations
+
+from .feedback import FeedbackPolicy
+from .types import QuantumRecord
+
+__all__ = ["AControl"]
+
+
+class AControl(FeedbackPolicy):
+    """ABG's adaptive-controller feedback.
+
+    Parameters
+    ----------
+    convergence_rate:
+        The pole position ``r`` in ``[0, 1)``.  Smaller converges faster;
+        the paper uses 0.2 in its simulations and requires ``r < 1/CL`` for
+        the waste/makespan bounds of Theorems 4-5 to hold.
+    """
+
+    def __init__(self, convergence_rate: float = 0.2):
+        if not (0.0 <= convergence_rate < 1.0):
+            raise ValueError("convergence rate must lie in [0, 1)")
+        self.convergence_rate = float(convergence_rate)
+        self.name = f"ABG(r={self.convergence_rate:g})"
+
+    def gain(self, measured_parallelism: float) -> float:
+        """Controller gain ``K = (1 - r) * A`` from Theorem 1."""
+        return (1.0 - self.convergence_rate) * measured_parallelism
+
+    def next_request(self, prev: QuantumRecord) -> float:
+        a_prev = prev.avg_parallelism
+        if a_prev <= 0.0:
+            # An empty quantum carries no parallelism information; hold the
+            # request (cannot occur for an active job under a fair allocator).
+            return prev.request
+        r = self.convergence_rate
+        # Equivalent to d + K*e with K = (1-r)*A and e = 1 - d/A.
+        return r * prev.request + (1.0 - r) * a_prev
+
+    def __repr__(self) -> str:
+        return f"AControl(convergence_rate={self.convergence_rate!r})"

@@ -1,0 +1,76 @@
+"""A-Greedy: the multiplicative-increase multiplicative-decrease baseline.
+
+A-Greedy (Agrawal, He, Hsu, Leiserson, PPoPP 2006 — the paper's reference
+[1]) classifies each quantum by its *utilization* and whether the request was
+granted:
+
+- *inefficient* — the job used less than a fraction ``delta`` of the allotted
+  cycles (``T1(q) < delta * a(q) * L``): the request was too high, so halve it
+  (divide by the responsiveness ``rho``).
+- *efficient and satisfied* (``a(q) = d(q)``): the job kept ``delta`` of what
+  it asked for and got everything it asked for, so it might profit from more:
+  multiply the request by ``rho``.
+- *efficient but deprived* (``a(q) < d(q)``): the job used what it got but the
+  allocator already trimmed the request; keep it unchanged.
+
+The paper's simulations set the multiplicative factor ``rho = 2`` (Section 4)
+and keep "the same parameter settings for A-Greedy as in [12]", whose
+canonical utilization threshold is ``delta = 0.8``.
+
+With constant parallelism ``A`` this rule never settles: requests climb
+``1, 2, 4, ...`` past ``A``, the overshooting quantum goes inefficient, the
+request halves, and the cycle repeats — the request instability of Figures 1
+and 4(b) that motivates ABG.
+"""
+
+from __future__ import annotations
+
+from .feedback import FeedbackPolicy
+from .types import QuantumRecord
+
+__all__ = ["AGreedy"]
+
+
+class AGreedy(FeedbackPolicy):
+    """Multiplicative-increase multiplicative-decrease feedback.
+
+    Parameters
+    ----------
+    responsiveness:
+        Multiplicative factor ``rho > 1`` (paper: 2).
+    utilization_threshold:
+        Efficiency cutoff ``delta`` in ``(0, 1]`` (canonical: 0.8).
+    """
+
+    def __init__(self, responsiveness: float = 2.0, utilization_threshold: float = 0.8):
+        if responsiveness <= 1.0:
+            raise ValueError("responsiveness must exceed 1")
+        if not (0.0 < utilization_threshold <= 1.0):
+            raise ValueError("utilization threshold must lie in (0, 1]")
+        self.responsiveness = float(responsiveness)
+        self.utilization_threshold = float(utilization_threshold)
+        self.name = (
+            f"A-Greedy(rho={self.responsiveness:g}, delta={self.utilization_threshold:g})"
+        )
+
+    def classify(self, prev: QuantumRecord) -> str:
+        """Return the quantum's A-Greedy class:
+        ``"inefficient"``, ``"efficient-satisfied"``, or ``"efficient-deprived"``."""
+        if prev.utilization < self.utilization_threshold:
+            return "inefficient"
+        return "efficient-satisfied" if prev.satisfied else "efficient-deprived"
+
+    def next_request(self, prev: QuantumRecord) -> float:
+        d = prev.request
+        kind = self.classify(prev)
+        if kind == "inefficient":
+            return max(1.0, d / self.responsiveness)
+        if kind == "efficient-satisfied":
+            return d * self.responsiveness
+        return d
+
+    def __repr__(self) -> str:
+        return (
+            f"AGreedy(responsiveness={self.responsiveness!r}, "
+            f"utilization_threshold={self.utilization_threshold!r})"
+        )

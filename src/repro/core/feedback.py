@@ -1,0 +1,39 @@
+"""Feedback-policy interface.
+
+Between scheduling quanta the user-level task scheduler sends the OS
+allocator a *processor request* computed from what it observed during the
+previous quantum (parallelism feedback, Section 1).  A
+:class:`FeedbackPolicy` is that request calculator.
+
+Policies are deliberately *stateless*: the next request is a pure function of
+the previous quantum's :class:`~repro.core.types.QuantumRecord` (which
+contains the previous request).  This mirrors the paper's non-clairvoyance —
+the policy sees only measured history — and makes policies trivially
+testable and replayable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .types import QuantumRecord
+
+__all__ = ["FeedbackPolicy"]
+
+
+class FeedbackPolicy(ABC):
+    """Computes the processor request ``d(q+1)`` from quantum ``q``'s record."""
+
+    #: Human-readable policy name used in experiment tables.
+    name: str = "feedback"
+
+    def first_request(self) -> float:
+        """``d(1)`` — the paper initializes every policy at one processor."""
+        return 1.0
+
+    @abstractmethod
+    def next_request(self, prev: QuantumRecord) -> float:
+        """``d(q+1)`` given quantum ``q``'s full record."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,83 @@
+"""Quantum-length policies.
+
+The paper fixes the quantum length ``L`` and names "dynamically adjusting the
+quantum length ... to achieve better system wide adaptivity" as future work
+(Section 9).  :class:`FixedQuantumLength` is the paper's setting;
+:class:`AdaptiveQuantumLength` implements that future-work extension with a
+simple stability-driven rule, evaluated in the quantum-length ablation bench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .types import QuantumRecord
+
+__all__ = ["QuantumLengthPolicy", "FixedQuantumLength", "AdaptiveQuantumLength"]
+
+
+class QuantumLengthPolicy(ABC):
+    """Chooses the length of the next scheduling quantum."""
+
+    @abstractmethod
+    def next_length(self, prev: QuantumRecord | None) -> int:
+        """Length of the upcoming quantum; ``prev`` is ``None`` before the
+        first quantum."""
+
+
+class FixedQuantumLength(QuantumLengthPolicy):
+    """The paper's setting: every quantum is ``L`` steps (default 1000)."""
+
+    def __init__(self, length: int = 1000):
+        if length < 1:
+            raise ValueError("quantum length must be >= 1")
+        self.length = int(length)
+
+    def next_length(self, prev: QuantumRecord | None) -> int:
+        return self.length
+
+
+class AdaptiveQuantumLength(QuantumLengthPolicy):
+    """Extension (paper Section 9 future work): lengthen quanta while the
+    job's parallelism is stable, shorten them when it shifts.
+
+    Rationale: long quanta amortize reallocation overhead but react slowly to
+    parallelism transitions; short quanta track transitions but reallocate
+    often.  We compare the measured average parallelism of the last quantum
+    against the request that quantum ran with: when they agree within
+    ``stable_ratio`` the quantum doubles (up to ``max_length``), otherwise it
+    resets to ``min_length``.
+    """
+
+    def __init__(
+        self,
+        initial_length: int = 1000,
+        *,
+        min_length: int = 250,
+        max_length: int = 8000,
+        stable_ratio: float = 1.2,
+    ):
+        if not (1 <= min_length <= initial_length <= max_length):
+            raise ValueError("need 1 <= min_length <= initial_length <= max_length")
+        if stable_ratio <= 1.0:
+            raise ValueError("stable_ratio must exceed 1")
+        self.initial_length = int(initial_length)
+        self.min_length = int(min_length)
+        self.max_length = int(max_length)
+        self.stable_ratio = float(stable_ratio)
+        self._current = int(initial_length)
+
+    def next_length(self, prev: QuantumRecord | None) -> int:
+        if prev is None:
+            self._current = self.initial_length
+            return self._current
+        measured = prev.avg_parallelism
+        if measured > 0 and prev.request > 0:
+            ratio = max(measured / prev.request, prev.request / measured)
+        else:
+            ratio = float("inf")
+        if ratio <= self.stable_ratio:
+            self._current = min(self.max_length, self._current * 2)
+        else:
+            self._current = self.min_length
+        return self._current

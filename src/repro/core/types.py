@@ -1,0 +1,273 @@
+"""Core value types shared across the ABG reproduction.
+
+The two-level scheduling framework of the paper divides a job's execution into
+*scheduling quanta* of ``L`` time steps.  Everything the feedback algorithms,
+allocators, and analyses consume is captured per quantum in
+:class:`QuantumRecord`; a job's whole execution is a :class:`JobTrace`.
+
+Conventions (matching the paper's notation):
+
+- ``d(q)``  — processor request (real-valued controller state; the integer
+  request actually sent to the OS allocator is ``ceil(d(q))``).
+- ``p(q)``  — processors available to the job under the allocator's policy.
+- ``a(q)``  — allotment, ``a(q) = min(ceil(d(q)), p(q))``.
+- ``T1(q)`` — quantum work: unit tasks completed during the quantum.
+- ``Tinf(q)`` — quantum critical-path length: number of dag levels advanced,
+  fractional when a level is partially completed (fraction = completed tasks
+  on the level / level size).
+- ``A(q) = T1(q) / Tinf(q)`` — quantum average parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "QuantumRecord",
+    "JobTrace",
+    "integer_request",
+]
+
+
+def integer_request(d: float) -> int:
+    """Convert a real-valued controller request into the integer processor
+    request sent to the OS allocator.
+
+    The controller state is real-valued (Equation 3 of the paper); processors
+    are discrete.  We report ``ceil(d)``: the smallest whole number of
+    processors covering the controller's target, with a floor of one processor
+    (a job must always be able to make progress, cf. Section 5.1's fairness
+    assumption).  A tiny tolerance absorbs float error so that e.g. a
+    converged ``d = 5.000000000001`` still requests 5.
+    """
+    if d != d or d < 0:  # NaN or negative
+        raise ValueError(f"invalid processor request {d!r}")
+    return max(1, math.ceil(d - 1e-9))
+
+
+@dataclass(frozen=True, slots=True)
+class QuantumRecord:
+    """Everything observed about one scheduling quantum of one job."""
+
+    index: int
+    """Quantum number ``q``, starting at 1."""
+
+    request: float
+    """Real-valued controller request ``d(q)``."""
+
+    request_int: int
+    """Integer request sent to the allocator, ``ceil(d(q))``."""
+
+    available: int
+    """Processors available ``p(q)`` under the allocator's policy."""
+
+    allotment: int
+    """Granted processors ``a(q) = min(request_int, available)``."""
+
+    work: int
+    """Quantum work ``T1(q)``: unit tasks completed."""
+
+    span: float
+    """Quantum critical-path length ``Tinf(q)`` (fractional levels)."""
+
+    steps: int
+    """Time steps the quantum actually ran (== L except possibly the last)."""
+
+    quantum_length: int
+    """The nominal quantum length ``L`` in effect for this quantum."""
+
+    start_step: int = 0
+    """Absolute time step at which the quantum began."""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("quantum index starts at 1")
+        if self.allotment < 0 or self.available < 0:
+            raise ValueError("negative processors")
+        if self.allotment > self.available:
+            raise ValueError("allotment exceeds availability")
+        if self.allotment > self.request_int:
+            raise ValueError("allocator is conservative: a(q) <= ceil(d(q))")
+        if self.steps < 0 or self.steps > self.quantum_length:
+            raise ValueError("quantum steps outside [0, L]")
+        if self.work < 0 or self.work > self.allotment * self.steps:
+            raise ValueError("quantum work outside [0, a(q) * steps]")
+        # Every completed task contributes at most one fractional level, so
+        # span <= work always.  The stronger invariant span <= steps (the
+        # paper's Tinf(q) <= L, Section 5.1) holds for breadth-first
+        # execution but NOT for depth-first disciplines, which smear
+        # completions across levels — precisely why B-Greedy exists.
+        if self.span < 0 or self.span > self.work + 1e-9:
+            raise ValueError("quantum span outside [0, work]")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used throughout the paper's analysis
+    # ------------------------------------------------------------------
+
+    @property
+    def avg_parallelism(self) -> float:
+        """``A(q) = T1(q) / Tinf(q)``; defined as 0 for an empty quantum."""
+        if self.span == 0:
+            return 0.0
+        return self.work / self.span
+
+    @property
+    def waste(self) -> int:
+        """Wasted processor cycles: allotted minus used, ``a(q)*steps - T1(q)``."""
+        return self.allotment * self.steps - self.work
+
+    @property
+    def is_full(self) -> bool:
+        """A *full quantum* has work done on every step, which in our
+        discrete-time engines is equivalent to running the entire quantum
+        length (the final quantum of a job stops early)."""
+        return self.steps == self.quantum_length
+
+    @property
+    def deprived(self) -> bool:
+        """Whether the allocator granted fewer processors than requested."""
+        return self.allotment < self.request_int
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the request was fully granted."""
+        return not self.deprived
+
+    @property
+    def work_efficiency(self) -> float:
+        """``alpha(q) = T1(q) / (a(q) * L)`` (Section 5.1), computed against
+        the steps actually run so the last quantum stays meaningful."""
+        denom = self.allotment * self.steps
+        return self.work / denom if denom else 0.0
+
+    @property
+    def span_efficiency(self) -> float:
+        """``beta(q) = Tinf(q) / L`` (Section 5.1)."""
+        return self.span / self.steps if self.steps else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Alias of :attr:`work_efficiency`; A-Greedy's efficiency signal."""
+        return self.work_efficiency
+
+
+@dataclass(slots=True)
+class JobTrace:
+    """The full per-quantum history of one job's execution.
+
+    Aggregates the measurements the paper's evaluation reports: running time,
+    wasted processor cycles, and the measured transition factor.
+    """
+
+    quantum_length: int
+    records: list[QuantumRecord] = field(default_factory=list)
+    release_time: int = 0
+    job_id: int | None = None
+
+    def append(self, record: QuantumRecord) -> None:
+        if self.records and record.index != self.records[-1].index + 1:
+            raise ValueError("quantum records must be appended in order")
+        if not self.records and record.index != 1:
+            raise ValueError("first quantum record must have index 1")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QuantumRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, q: int) -> QuantumRecord:
+        """1-based access mirroring the paper's ``q`` index."""
+        if q < 1:
+            raise IndexError("quantum index starts at 1")
+        return self.records[q - 1]
+
+    # ------------------------------------------------------------------
+    # Aggregate metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def running_time(self) -> int:
+        """Total time steps from the job's first quantum to completion."""
+        return sum(r.steps for r in self.records)
+
+    @property
+    def completion_time(self) -> int:
+        """Absolute completion step (start of first quantum + running time)."""
+        if not self.records:
+            return self.release_time
+        return self.records[0].start_step + self.running_time
+
+    @property
+    def response_time(self) -> int:
+        """Completion minus release."""
+        return self.completion_time - self.release_time
+
+    @property
+    def total_work(self) -> int:
+        return sum(r.work for r in self.records)
+
+    @property
+    def total_span(self) -> float:
+        return sum(r.span for r in self.records)
+
+    @property
+    def total_waste(self) -> int:
+        return sum(r.waste for r in self.records)
+
+    @property
+    def full_quanta(self) -> list[QuantumRecord]:
+        return [r for r in self.records if r.is_full]
+
+    def avg_parallelism_series(self, *, full_only: bool = True) -> list[float]:
+        recs: Iterable[QuantumRecord] = self.full_quanta if full_only else self.records
+        return [r.avg_parallelism for r in recs]
+
+    def measured_transition_factor(self) -> float:
+        """Transition factor ``CL`` measured from the trace (Section 5.2):
+        the maximal ratio of average parallelism between adjacent full
+        quanta, with ``A(0)`` defined to be 1."""
+        series = [1.0] + self.avg_parallelism_series(full_only=True)
+        return transition_factor_of_series(series)
+
+    def request_series(self) -> list[float]:
+        return [r.request for r in self.records]
+
+    def allotment_series(self) -> list[int]:
+        return [r.allotment for r in self.records]
+
+    @property
+    def reallocation_count(self) -> int:
+        """Number of quantum boundaries at which the allotment changed — the
+        practical cost of request instability (context switching, lost
+        locality) that Section 4 argues against."""
+        allot = self.allotment_series()
+        return sum(1 for a, b in zip(allot, allot[1:]) if a != b)
+
+    @property
+    def avg_allotment(self) -> float:
+        """Time-weighted mean allotment over the execution."""
+        total_steps = self.running_time
+        if total_steps == 0:
+            return 0.0
+        return sum(r.allotment * r.steps for r in self.records) / total_steps
+
+
+def transition_factor_of_series(parallelism: Sequence[float]) -> float:
+    """Max ratio between adjacent entries of a positive parallelism series.
+
+    ``CL = max_q max(A(q)/A(q-1), A(q-1)/A(q))`` — at least 1 by definition.
+    Entries that are zero (empty quanta) are skipped.
+    """
+    c = 1.0
+    prev: float | None = None
+    for a in parallelism:
+        if a <= 0:
+            continue
+        if prev is not None:
+            c = max(c, a / prev, prev / a)
+        prev = a
+    return c

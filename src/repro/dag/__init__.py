@@ -1,0 +1,30 @@
+"""Explicit dag job model: graph structure, builders, and structural analysis."""
+
+from .analysis import JobCharacteristics, characteristics, greedy_time_lower_bound
+from .builders import (
+    chain,
+    diamond,
+    figure2_fragment,
+    fork_join,
+    fork_join_from_phases,
+    random_layered,
+    series_parallel,
+    wide_level,
+)
+from .graph import Dag, DagValidationError
+
+__all__ = [
+    "Dag",
+    "DagValidationError",
+    "JobCharacteristics",
+    "characteristics",
+    "greedy_time_lower_bound",
+    "chain",
+    "wide_level",
+    "diamond",
+    "fork_join",
+    "fork_join_from_phases",
+    "figure2_fragment",
+    "random_layered",
+    "series_parallel",
+]

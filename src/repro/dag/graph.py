@@ -1,0 +1,185 @@
+"""Explicit directed-acyclic-graph job model.
+
+The paper models a malleable job as a dynamically unfolding dag of unit-size
+tasks (Section 1).  :class:`Dag` is the static description: adjacency lists
+over tasks ``0..n-1`` plus the *level* of each task — "the length of the
+longest chain from the source node(s) of the dag to the task" (Section 2).
+Levels are 1-based: a source task has level 1, and the total number of levels
+equals the critical-path length ``Tinf``.
+
+The class is deliberately small and array-backed: the execution engines in
+:mod:`repro.engine` do the heavy lifting, and the builders in
+:mod:`repro.dag.builders` construct common shapes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Dag", "DagValidationError"]
+
+
+class DagValidationError(ValueError):
+    """Raised when an edge list does not describe a valid dag."""
+
+
+class Dag:
+    """An immutable unit-task dag.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of unit-size tasks, identified ``0..num_tasks-1``.
+    edges:
+        Iterable of ``(parent, child)`` precedence pairs.  A task becomes
+        *ready* once all its parents have executed.
+    """
+
+    __slots__ = (
+        "num_tasks",
+        "_preds",
+        "_succs",
+        "_levels",
+        "_topo_order",
+        "_level_sizes",
+    )
+
+    def __init__(self, num_tasks: int, edges: Iterable[tuple[int, int]]):
+        if num_tasks <= 0:
+            raise DagValidationError("a job must contain at least one task")
+        self.num_tasks = int(num_tasks)
+        preds: list[list[int]] = [[] for _ in range(num_tasks)]
+        succs: list[list[int]] = [[] for _ in range(num_tasks)]
+        for u, v in edges:
+            if not (0 <= u < num_tasks and 0 <= v < num_tasks):
+                raise DagValidationError(f"edge ({u}, {v}) out of range")
+            if u == v:
+                raise DagValidationError(f"self-loop on task {u}")
+            preds[v].append(u)
+            succs[u].append(v)
+        self._preds = preds
+        self._succs = succs
+        self._topo_order, self._levels = self._toposort_and_levels()
+        sizes = np.bincount(self._levels, minlength=self.num_levels + 1)
+        self._level_sizes = sizes[1:]  # drop unused level 0 slot
+
+    # ------------------------------------------------------------------
+
+    def _toposort_and_levels(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.num_tasks
+        indeg = np.fromiter((len(p) for p in self._preds), dtype=np.int64, count=n)
+        levels = np.zeros(n, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        queue: deque[int] = deque(int(i) for i in np.flatnonzero(indeg == 0))
+        for i in queue:
+            levels[i] = 1
+        pos = 0
+        while queue:
+            u = queue.popleft()
+            order[pos] = u
+            pos += 1
+            lu = levels[u]
+            for v in self._succs[u]:
+                if levels[v] < lu + 1:
+                    levels[v] = lu + 1
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if pos != n:
+            raise DagValidationError("edge list contains a cycle")
+        return order, levels
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    def predecessors(self, task: int) -> Sequence[int]:
+        return self._preds[task]
+
+    def successors(self, task: int) -> Sequence[int]:
+        return self._succs[task]
+
+    def in_degree(self, task: int) -> int:
+        return len(self._preds[task])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succs)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """1-based level of every task (read-only view)."""
+        v = self._levels.view()
+        v.flags.writeable = False
+        return v
+
+    def level_of(self, task: int) -> int:
+        return int(self._levels[task])
+
+    @property
+    def num_levels(self) -> int:
+        return int(self._levels.max())
+
+    @property
+    def level_sizes(self) -> np.ndarray:
+        """Number of tasks on each level; index 0 is level 1."""
+        v = self._level_sizes.view()
+        v.flags.writeable = False
+        return v
+
+    def topological_order(self) -> np.ndarray:
+        v = self._topo_order.view()
+        v.flags.writeable = False
+        return v
+
+    def sources(self) -> list[int]:
+        return [t for t in range(self.num_tasks) if not self._preds[t]]
+
+    def sinks(self) -> list[int]:
+        return [t for t in range(self.num_tasks) if not self._succs[t]]
+
+    # ------------------------------------------------------------------
+    # Job characteristics (paper Section 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def work(self) -> int:
+        """``T1``: total number of unit tasks."""
+        return self.num_tasks
+
+    @property
+    def span(self) -> int:
+        """``Tinf``: nodes on the longest dependency chain == number of levels."""
+        return self.num_levels
+
+    @property
+    def average_parallelism(self) -> float:
+        """``T1 / Tinf``."""
+        return self.work / self.span
+
+    def parallelism_profile(self) -> np.ndarray:
+        """Tasks per level — the job's maximum achievable parallelism as it
+        advances level by level under breadth-first execution."""
+        return self.level_sizes
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dag(tasks={self.num_tasks}, edges={self.num_edges}, "
+            f"span={self.span}, avg_parallelism={self.average_parallelism:.2f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dag):
+            return NotImplemented
+        return (
+            self.num_tasks == other.num_tasks
+            and self._preds == other._preds
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_tasks, tuple(tuple(p) for p in self._preds)))

@@ -1,0 +1,16 @@
+"""Execution engines: the step-accurate explicit-dag reference engine and the
+closed-form fork-join (phased) engine."""
+
+from .base import JobExecutor, QuantumExecution
+from .explicit import Discipline, ExplicitExecutor
+from .phased import Phase, PhasedExecutor, PhasedJob
+
+__all__ = [
+    "JobExecutor",
+    "QuantumExecution",
+    "ExplicitExecutor",
+    "Discipline",
+    "Phase",
+    "PhasedJob",
+    "PhasedExecutor",
+]

@@ -1,0 +1,272 @@
+"""Ablations around the paper's design choices.
+
+- **Convergence rate** (paper footnote 3: "We have tried varying the value
+  for the convergence rate. The results do not deviate too much for all
+  values of convergence rate less than 0.6"): sweep ``r`` on the Figure 5
+  workload.
+- **Quantum length** (paper Section 9 future work): sweep fixed ``L`` and
+  compare the adaptive quantum-length extension.
+- **Scheduling discipline** (the B in B-Greedy): ABG's feedback fed by
+  breadth-first versus FIFO greedy execution on explicit dags — quantifying
+  how much the lowest-level-first strategy is worth.
+- **Allocator** (DEQ vs round-robin): the value of non-reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..allocators.equipartition import DynamicEquiPartitioning
+from ..allocators.roundrobin import RoundRobinAllocator
+from ..core.abg import AControl
+from ..core.quantum_policy import AdaptiveQuantumLength, FixedQuantumLength
+from ..dag.builders import fork_join_from_phases, random_layered
+from ..sim.jobs import JobSpec
+from ..sim.multi import simulate_job_set
+from ..sim.single import simulate_job
+from ..workloads.forkjoin import ForkJoinGenerator
+from ..workloads.jobsets import JobSetGenerator
+from .common import default_rng_seed
+
+__all__ = [
+    "RateRow",
+    "run_rate_ablation",
+    "QuantumRow",
+    "run_quantum_ablation",
+    "DisciplineRow",
+    "run_discipline_ablation",
+    "AllocatorRow",
+    "run_allocator_ablation",
+]
+
+
+# ---------------------------------------------------------------------------
+# Convergence rate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RateRow:
+    convergence_rate: float
+    time_norm: float
+    waste_norm: float
+    reallocations: float
+
+
+def run_rate_ablation(
+    *,
+    rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    factors: Sequence[int] = (5, 20, 60),
+    jobs_per_factor: int = 10,
+    processors: int = 128,
+    quantum_length: int = 1000,
+    seed: int = default_rng_seed,
+) -> list[RateRow]:
+    rng = np.random.default_rng(seed)
+    gen = ForkJoinGenerator(quantum_length)
+    jobs = [gen.generate(rng, c) for c in factors for _ in range(jobs_per_factor)]
+    rows: list[RateRow] = []
+    for r in rates:
+        policy = AControl(r)
+        t_norm, w_norm, realloc = [], [], []
+        for job in jobs:
+            trace = simulate_job(job, policy, processors, quantum_length=quantum_length)
+            t_norm.append(trace.running_time / job.span)
+            w_norm.append(trace.total_waste / job.work)
+            realloc.append(trace.reallocation_count)
+        rows.append(
+            RateRow(
+                convergence_rate=float(r),
+                time_norm=float(np.mean(t_norm)),
+                waste_norm=float(np.mean(w_norm)),
+                reallocations=float(np.mean(realloc)),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Quantum length
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class QuantumRow:
+    policy: str
+    time_norm: float
+    waste_norm: float
+    reallocations: float
+    quanta: float
+
+
+def run_quantum_ablation(
+    *,
+    lengths: Sequence[int] = (250, 500, 1000, 2000, 4000),
+    factors: Sequence[int] = (5, 20, 60),
+    jobs_per_factor: int = 8,
+    processors: int = 128,
+    convergence_rate: float = 0.2,
+    seed: int = default_rng_seed,
+) -> list[QuantumRow]:
+    rng = np.random.default_rng(seed)
+    # Phase lengths scale with the *base* quantum so every variant runs the
+    # same jobs.
+    gen = ForkJoinGenerator(1000)
+    jobs = [gen.generate(rng, c) for c in factors for _ in range(jobs_per_factor)]
+    policy = AControl(convergence_rate)
+
+    def run_all(qlen_factory) -> QuantumRow | None:
+        t_norm, w_norm, realloc, quanta = [], [], [], []
+        for job in jobs:
+            trace = simulate_job(
+                job, policy, processors, quantum_length=qlen_factory()
+            )
+            t_norm.append(trace.running_time / job.span)
+            w_norm.append(trace.total_waste / job.work)
+            realloc.append(trace.reallocation_count)
+            quanta.append(len(trace))
+        return (
+            float(np.mean(t_norm)),
+            float(np.mean(w_norm)),
+            float(np.mean(realloc)),
+            float(np.mean(quanta)),
+        )
+
+    rows: list[QuantumRow] = []
+    for L in lengths:
+        t, w, rl, q = run_all(lambda L=L: FixedQuantumLength(L))
+        rows.append(QuantumRow(policy=f"fixed L={L}", time_norm=t, waste_norm=w, reallocations=rl, quanta=q))
+    t, w, rl, q = run_all(lambda: AdaptiveQuantumLength(1000))
+    rows.append(QuantumRow(policy="adaptive", time_norm=t, waste_norm=w, reallocations=rl, quanta=q))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Scheduling discipline (breadth-first vs FIFO greedy)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DisciplineRow:
+    discipline: str
+    workload: str
+    time_norm: float
+    waste_norm: float
+    max_span_efficiency: float
+    """Maximum ``beta(q) = Tinf(q)/steps`` over quanta.  B-Greedy guarantees
+    ``beta(q) <= 1`` (a quantum cannot advance more levels than it has
+    steps, Section 5.1) — the invariant the trim analysis and all the
+    bounds rest on.  Depth-first ('lifo') execution violates it, corrupting
+    the parallelism measurement; FIFO is empirically near breadth-first
+    because children always enqueue behind existing ready tasks."""
+
+
+def run_discipline_ablation(
+    *,
+    width: int = 12,
+    iterations: int = 3,
+    phase_levels: int = 120,
+    quantum_length: int = 40,
+    processors: int = 64,
+    convergence_rate: float = 0.2,
+    num_random_dags: int = 6,
+    seed: int = default_rng_seed,
+) -> list[DisciplineRow]:
+    """ABG's feedback fed by breadth-first, FIFO, and depth-first (lifo)
+    execution, on an explicit fork-join dag and on random layered dags
+    (small sizes: the explicit engine simulates every task)."""
+    rng = np.random.default_rng(seed)
+    phases = []
+    for _ in range(iterations):
+        phases.append((1, phase_levels))
+        phases.append((width, phase_levels))
+    workloads: list[tuple[str, list]] = [
+        ("fork-join", [fork_join_from_phases(phases)]),
+        (
+            "random-layered",
+            [
+                random_layered(rng, 300, min_width=1, max_width=60, edge_density=0.05)
+                for _ in range(num_random_dags)
+            ],
+        ),
+    ]
+    policy = AControl(convergence_rate)
+    rows: list[DisciplineRow] = []
+    for discipline in ("breadth-first", "fifo", "lifo"):
+        for name, dags in workloads:
+            t_norm, w_norm, betas = [], [], []
+            for dag in dags:
+                trace = simulate_job(
+                    dag,
+                    policy,
+                    processors,
+                    quantum_length=quantum_length,
+                    discipline=discipline,
+                )
+                t_norm.append(trace.running_time / dag.span)
+                w_norm.append(trace.total_waste / dag.work)
+                betas.extend(rec.span_efficiency for rec in trace.records)
+            rows.append(
+                DisciplineRow(
+                    discipline=discipline,
+                    workload=name,
+                    time_norm=float(np.mean(t_norm)),
+                    waste_norm=float(np.mean(w_norm)),
+                    max_span_efficiency=float(max(betas)),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Allocator (DEQ vs round-robin)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AllocatorRow:
+    allocator: str
+    makespan: float
+    mean_response_time: float
+    total_waste: float
+
+
+def run_allocator_ablation(
+    *,
+    num_sets: int = 10,
+    target_load: float = 2.0,
+    processors: int = 128,
+    quantum_length: int = 1000,
+    convergence_rate: float = 0.2,
+    seed: int = default_rng_seed,
+) -> list[AllocatorRow]:
+    rng = np.random.default_rng(seed)
+    set_gen = JobSetGenerator(processors, quantum_length=quantum_length)
+    samples = [set_gen.generate(rng, target_load) for _ in range(num_sets)]
+    policy = AControl(convergence_rate)
+    rows: list[AllocatorRow] = []
+    for name, factory in (
+        ("dynamic equi-partitioning", DynamicEquiPartitioning),
+        ("round-robin", RoundRobinAllocator),
+    ):
+        ms, rt, waste = [], [], []
+        for sample in samples:
+            specs = [JobSpec(job=j, feedback=policy) for j in sample.jobs]
+            result = simulate_job_set(
+                specs, factory(), processors, quantum_length=quantum_length
+            )
+            ms.append(result.makespan)
+            rt.append(result.mean_response_time)
+            waste.append(result.total_waste)
+        rows.append(
+            AllocatorRow(
+                allocator=name,
+                makespan=float(np.mean(ms)),
+                mean_response_time=float(np.mean(rt)),
+                total_waste=float(np.mean(waste)),
+            )
+        )
+    return rows

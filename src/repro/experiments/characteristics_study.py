@@ -1,0 +1,92 @@
+"""Job-characteristics study (paper Section 9 future work).
+
+Correlates scheduler performance with alternative job characteristics —
+change frequency and coefficient of variation of parallelism — alongside
+the transition factor the paper's analysis uses.  Workloads vary each
+characteristic independently:
+
+- transition factor: fork-join jobs with different parallel widths;
+- change frequency: profiles with many vs few (equally sized) transitions;
+- variation: profiles with the same number of transitions but different
+  width spreads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.characteristics import job_structure_characteristics
+from ..core.abg import AControl
+from ..core.agreedy import AGreedy
+from ..sim.single import simulate_job
+from ..workloads.profiles import job_from_profile
+from .common import default_rng_seed
+
+__all__ = ["CharacteristicsRow", "run_characteristics_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class CharacteristicsRow:
+    workload: str
+    transition_factor: float
+    change_frequency: float
+    coeff_of_variation: float
+    abg_time_norm: float
+    abg_waste_norm: float
+    agreedy_time_norm: float
+    agreedy_waste_norm: float
+
+
+def _profile(widths: list[int], segment: int) -> list[int]:
+    out: list[int] = []
+    for w in widths:
+        out.extend([w] * segment)
+    return out
+
+
+def run_characteristics_study(
+    *,
+    processors: int = 128,
+    quantum_length: int = 1000,
+    convergence_rate: float = 0.2,
+    seed: int = default_rng_seed,
+) -> list[CharacteristicsRow]:
+    rng = np.random.default_rng(seed)
+    segment = 2 * quantum_length
+    workloads: list[tuple[str, list[int]]] = []
+
+    # vary the transition factor (few changes, increasing width)
+    for w in (4, 16, 64):
+        workloads.append((f"factor-{w}", _profile([1, w, 1, w], segment)))
+    # vary the change frequency: same total length and widths, more
+    # alternations (each segment shrinks as the count grows)
+    total_levels = 24 * quantum_length
+    for n in (2, 6, 12):
+        workloads.append(
+            (f"freq-{n}", _profile([1, 16] * n, total_levels // (2 * n)))
+        )
+    # vary the spread at a fixed number of changes
+    workloads.append(("spread-low", _profile([8, 12, 10, 14, 9, 13], segment)))
+    workloads.append(("spread-high", _profile([1, 40, 4, 64, 2, 52], segment)))
+
+    rows: list[CharacteristicsRow] = []
+    for name, profile in workloads:
+        job = job_from_profile(profile)
+        chars = job_structure_characteristics(job)
+        abg = simulate_job(job, AControl(convergence_rate), processors, quantum_length=quantum_length)
+        agreedy = simulate_job(job, AGreedy(), processors, quantum_length=quantum_length)
+        rows.append(
+            CharacteristicsRow(
+                workload=name,
+                transition_factor=chars.transition_factor,
+                change_frequency=chars.change_frequency,
+                coeff_of_variation=chars.coefficient_of_variation,
+                abg_time_norm=abg.running_time / job.span,
+                abg_waste_norm=abg.total_waste / job.work,
+                agreedy_time_norm=agreedy.running_time / job.span,
+                agreedy_waste_norm=agreedy.total_waste / job.work,
+            )
+        )
+    return rows

@@ -1,0 +1,118 @@
+"""Figures 1 and 4 — transient and steady-state behaviour on a
+constant-parallelism job.
+
+The paper's Figure 1 shows A-Greedy's request instability on a job whose
+parallelism never changes; Figure 4 contrasts the two schedulers over 8
+scheduling quanta (ABG with convergence rate 0.2 converges monotonically to
+the parallelism; A-Greedy oscillates between overshoot and correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.abg import AControl
+from ..core.agreedy import AGreedy
+from ..core.feedback import FeedbackPolicy
+from ..core.types import JobTrace
+from ..sim.single import simulate_job
+from ..workloads.forkjoin import constant_parallelism_job
+
+__all__ = ["TransientResult", "run_transient", "run_fig4", "run_fig1"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransientResult:
+    """Request trajectory of one policy on a constant-parallelism job."""
+
+    policy: str
+    parallelism: int
+    quanta: tuple[int, ...]
+    requests: tuple[float, ...]
+    allotments: tuple[int, ...]
+    measured_parallelism: tuple[float, ...]
+
+    @property
+    def final_request(self) -> float:
+        return self.requests[-1]
+
+    @property
+    def peak_request(self) -> float:
+        return max(self.requests)
+
+
+def run_transient(
+    feedback: FeedbackPolicy,
+    *,
+    parallelism: int = 10,
+    num_quanta: int = 8,
+    quantum_length: int = 1000,
+    processors: int = 128,
+) -> TransientResult:
+    """Run a policy on a constant-parallelism job and keep the first
+    ``num_quanta`` quanta of its request trajectory."""
+    if parallelism < 1 or num_quanta < 1:
+        raise ValueError("parallelism and num_quanta must be positive")
+    # One level per step at full allotment, so num_quanta*L levels guarantee
+    # at least num_quanta quanta before completion.
+    job = constant_parallelism_job(parallelism, num_quanta * quantum_length)
+    trace: JobTrace = simulate_job(
+        job, feedback, processors, quantum_length=quantum_length
+    )
+    recs = trace.records[:num_quanta]
+    return TransientResult(
+        policy=feedback.name,
+        parallelism=parallelism,
+        quanta=tuple(r.index for r in recs),
+        requests=tuple(r.request for r in recs),
+        allotments=tuple(r.allotment for r in recs),
+        measured_parallelism=tuple(r.avg_parallelism for r in recs),
+    )
+
+
+def run_fig4(
+    *,
+    parallelism: int = 10,
+    num_quanta: int = 8,
+    quantum_length: int = 1000,
+    convergence_rate: float = 0.2,
+    responsiveness: float = 2.0,
+    utilization_threshold: float = 0.8,
+    processors: int = 128,
+) -> tuple[TransientResult, TransientResult]:
+    """Figure 4: (ABG result, A-Greedy result) on the same synthetic job."""
+    abg = run_transient(
+        AControl(convergence_rate),
+        parallelism=parallelism,
+        num_quanta=num_quanta,
+        quantum_length=quantum_length,
+        processors=processors,
+    )
+    agreedy = run_transient(
+        AGreedy(responsiveness, utilization_threshold),
+        parallelism=parallelism,
+        num_quanta=num_quanta,
+        quantum_length=quantum_length,
+        processors=processors,
+    )
+    return abg, agreedy
+
+
+def run_fig1(
+    *,
+    parallelism: int = 10,
+    num_quanta: int = 16,
+    quantum_length: int = 1000,
+    responsiveness: float = 2.0,
+    utilization_threshold: float = 0.8,
+    processors: int = 128,
+) -> TransientResult:
+    """Figure 1: A-Greedy's sustained request oscillation on constant
+    parallelism (a longer horizon than Figure 4 to show it never settles)."""
+    return run_transient(
+        AGreedy(responsiveness, utilization_threshold),
+        parallelism=parallelism,
+        num_quanta=num_quanta,
+        quantum_length=quantum_length,
+        processors=processors,
+    )

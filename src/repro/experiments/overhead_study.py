@@ -1,0 +1,90 @@
+"""Reallocation-overhead study — pricing A-Greedy's instability.
+
+The paper argues (Sections 1, 4) that A-Greedy's oscillating requests cause
+"unnecessary reallocation overheads and loss of localities" but, like its
+simulations, never charges for them.  This experiment does: a per-changed-
+processor migration cost is swept from 0 (the paper's setting) upward, and
+the A-Greedy/ABG running-time and waste ratios are reported per cost.  ABG's
+advantage should *widen* with the cost — its requests settle, so it pays the
+migration price once per parallelism transition, while A-Greedy pays every
+other quantum forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.abg import AControl
+from ..core.agreedy import AGreedy
+from ..core.overhead import ReallocationOverhead
+from ..sim.single import simulate_job
+from ..workloads.forkjoin import ForkJoinGenerator
+from .common import default_rng_seed
+
+__all__ = ["OverheadRow", "run_overhead_study"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadRow:
+    per_processor_cost: float
+    abg_time_norm: float
+    agreedy_time_norm: float
+    time_ratio: float
+    """A-Greedy / ABG running time."""
+    waste_ratio: float
+    abg_reallocations: float
+    agreedy_reallocations: float
+
+
+def run_overhead_study(
+    *,
+    costs: Sequence[float] = (0.0, 2.0, 5.0, 10.0, 20.0),
+    factors: Sequence[int] = (5, 20, 60),
+    jobs_per_factor: int = 6,
+    processors: int = 128,
+    quantum_length: int = 1000,
+    convergence_rate: float = 0.2,
+    seed: int = default_rng_seed,
+) -> list[OverheadRow]:
+    rng = np.random.default_rng(seed)
+    gen = ForkJoinGenerator(quantum_length)
+    jobs = [gen.generate(rng, c) for c in factors for _ in range(jobs_per_factor)]
+    abg_policy = AControl(convergence_rate)
+    agreedy_policy = AGreedy()
+
+    rows: list[OverheadRow] = []
+    for cost in costs:
+        overhead = ReallocationOverhead(per_processor=cost)
+        abg_t, ag_t, t_ratio, w_ratio, abg_re, ag_re = [], [], [], [], [], []
+        for job in jobs:
+            abg = simulate_job(
+                job, abg_policy, processors,
+                quantum_length=quantum_length, overhead=overhead,
+            )
+            agreedy = simulate_job(
+                job, agreedy_policy, processors,
+                quantum_length=quantum_length, overhead=overhead,
+            )
+            abg_t.append(abg.running_time / job.span)
+            ag_t.append(agreedy.running_time / job.span)
+            t_ratio.append(agreedy.running_time / abg.running_time)
+            w_ratio.append(
+                agreedy.total_waste / abg.total_waste if abg.total_waste else float("inf")
+            )
+            abg_re.append(abg.reallocation_count)
+            ag_re.append(agreedy.reallocation_count)
+        rows.append(
+            OverheadRow(
+                per_processor_cost=float(cost),
+                abg_time_norm=float(np.mean(abg_t)),
+                agreedy_time_norm=float(np.mean(ag_t)),
+                time_ratio=float(np.mean(t_ratio)),
+                waste_ratio=float(np.mean(w_ratio)),
+                abg_reallocations=float(np.mean(abg_re)),
+                agreedy_reallocations=float(np.mean(ag_re)),
+            )
+        )
+    return rows

@@ -1,0 +1,211 @@
+"""Batch experiment runner: regenerate every result in one command.
+
+``python -m repro all --out results/`` runs each experiment driver at the
+chosen scale, writes one JSON artifact per experiment plus a combined
+markdown report (paper-style tables with timings), and returns a summary.
+
+Scales:
+
+- ``smoke``   — seconds; used by the test suite;
+- ``reduced`` — the default benchmark scale (~1 min);
+- ``full``    — the paper's scale where defined (Figure 5: 99 factors x 50
+  jobs; Figure 6: 5000 job sets; several minutes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from . import (
+    run_trim_demo,
+    run_arrivals,
+    run_bounds_check,
+    run_characteristics_study,
+    run_controller_compare,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_overhead_study,
+    run_quantum_ablation,
+    run_rate_ablation,
+    run_discipline_ablation,
+    run_allocator_ablation,
+    run_stealing_compare,
+    run_theorem1,
+)
+from .common import ExperimentTable, format_series, format_table
+
+__all__ = ["ExperimentOutcome", "RunnerResult", "run_everything", "SCALES"]
+
+SCALES = ("smoke", "reduced", "full")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentOutcome:
+    name: str
+    seconds: float
+    rows: int
+    artifact: str
+
+
+@dataclass(slots=True)
+class RunnerResult:
+    scale: str
+    outcomes: list[ExperimentOutcome] = field(default_factory=list)
+    report_path: Path | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(o.seconds for o in self.outcomes)
+
+
+def _to_records(result: Any) -> list[dict[str, Any]]:
+    """Normalize a driver's return value into a list of plain dicts."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        # composite results (Fig5Result/Fig6Result/TransientResult/Fig2Result)
+        if hasattr(result, "points"):
+            return [dataclasses.asdict(p) for p in result.points]
+        return [dataclasses.asdict(result)]
+    if isinstance(result, tuple):  # fig4 returns (abg, agreedy)
+        return [dataclasses.asdict(r) for r in result]
+    if isinstance(result, list):
+        return [dataclasses.asdict(r) for r in result]
+    raise TypeError(f"cannot serialize experiment result of type {type(result)!r}")
+
+
+def _experiments(scale: str) -> list[tuple[str, Callable[[], Any]]]:
+    if scale == "smoke":
+        fig5_kwargs = {"factors": (2, 30), "jobs_per_factor": 2}
+        fig6_kwargs = {"num_sets": 4}
+        small: dict[str, Any] = {"jobs_per_factor": 1, "factors": (3,)}
+        return [
+            ("fig1", run_fig1),
+            ("fig2", run_fig2),
+            ("fig4", run_fig4),
+            ("fig5", lambda: run_fig5(**fig5_kwargs)),
+            ("fig6", lambda: run_fig6(**fig6_kwargs)),
+            ("theorem1", lambda: run_theorem1(parallelisms=(5,), rates=(0.2,))),
+            ("bounds", lambda: run_bounds_check(factors=(2,), jobs_per_factor=1)),
+            ("ablation-rate", lambda: run_rate_ablation(rates=(0.0, 0.4), **small)),
+            (
+                "ablation-quantum",
+                lambda: run_quantum_ablation(lengths=(500,), **small),
+            ),
+            ("ablation-discipline", lambda: run_discipline_ablation(num_random_dags=1)),
+            (
+                "ablation-allocator",
+                lambda: run_allocator_ablation(num_sets=1, target_load=0.5),
+            ),
+            ("stealing", lambda: run_stealing_compare(num_jobs=1, iterations=1)),
+            (
+                "overhead",
+                lambda: run_overhead_study(costs=(0.0, 10.0), factors=(5,), jobs_per_factor=1),
+            ),
+            (
+                "controllers",
+                lambda: run_controller_compare(parallelisms=(2, 8), num_quanta=8),
+            ),
+            ("arrivals", lambda: run_arrivals(interarrivals=(1000.0,), jobs_per_set=3)),
+            ("characteristics", lambda: run_characteristics_study(quantum_length=200)),
+            ("trim", lambda: run_trim_demo(peak_width=16, quantum_length=200)),
+        ]
+    if scale == "reduced":
+        fig5_kwargs = {"factors": tuple(range(2, 101, 7)), "jobs_per_factor": 20}
+        fig6_kwargs = {"num_sets": 120}
+    elif scale == "full":
+        fig5_kwargs = {"factors": tuple(range(2, 101)), "jobs_per_factor": 50}
+        fig6_kwargs = {"num_sets": 5000}
+    else:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
+    return [
+        ("fig1", run_fig1),
+        ("fig2", run_fig2),
+        ("fig4", run_fig4),
+        ("fig5", lambda: run_fig5(**fig5_kwargs)),
+        ("fig6", lambda: run_fig6(**fig6_kwargs)),
+        ("theorem1", run_theorem1),
+        ("bounds", run_bounds_check),
+        ("ablation-rate", run_rate_ablation),
+        ("ablation-quantum", run_quantum_ablation),
+        ("ablation-discipline", run_discipline_ablation),
+        ("ablation-allocator", run_allocator_ablation),
+        ("stealing", run_stealing_compare),
+        ("overhead", run_overhead_study),
+        ("controllers", run_controller_compare),
+        ("arrivals", run_arrivals),
+        ("characteristics", run_characteristics_study),
+        ("trim", run_trim_demo),
+    ]
+
+
+def _markdown_table(name: str, records: list[dict[str, Any]]) -> str:
+    if not records:
+        return f"## {name}\n\n(no rows)\n"
+    columns = [k for k in records[0] if not isinstance(records[0][k], (list, tuple, dict))]
+    table = ExperimentTable(
+        title=f"## {name}",
+        columns=tuple(columns),
+        rows=tuple({c: r[c] for c in columns} for r in records),
+    )
+    text = format_table(table) + "\n"
+    # series-valued fields (e.g. fig1/fig4 request trajectories) render as
+    # labelled series below the table when the table is small enough to read
+    if len(records) <= 4:
+        series_fields = [
+            k
+            for k, v in records[0].items()
+            if isinstance(v, (list, tuple))
+            and v
+            and all(isinstance(x, (int, float)) for x in v)
+        ]
+        for record in records:
+            label = next(
+                (str(record[c]) for c in columns if isinstance(record[c], str)), ""
+            )
+            for field_name in series_fields:
+                text += "\n" + format_series(
+                    f"{label} {field_name}".strip(), record[field_name]
+                )
+        if series_fields:
+            text += "\n"
+    return text
+
+
+def run_everything(
+    out_dir: str | Path,
+    *,
+    scale: str = "reduced",
+) -> RunnerResult:
+    """Run every experiment, write artifacts, and produce ``REPORT.md``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    result = RunnerResult(scale=scale)
+    report_sections: list[str] = [
+        f"# ABG reproduction — experiment report (scale: {scale})",
+        "",
+    ]
+    for name, runner in _experiments(scale):
+        t0 = time.perf_counter()
+        raw = runner()
+        seconds = time.perf_counter() - t0
+        records = _to_records(raw)
+        artifact = out / f"{name}.json"
+        artifact.write_text(json.dumps(records, indent=1, default=str))
+        result.outcomes.append(
+            ExperimentOutcome(
+                name=name, seconds=seconds, rows=len(records), artifact=str(artifact)
+            )
+        )
+        report_sections.append(_markdown_table(name, records))
+        report_sections.append(f"_{len(records)} rows in {seconds:.2f}s_\n")
+    report = out / "REPORT.md"
+    report.write_text("\n".join(report_sections))
+    result.report_path = report
+    return result

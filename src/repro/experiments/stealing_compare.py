@@ -1,0 +1,105 @@
+"""Work-stealing comparison — ABG vs A-Steal vs ABP (paper Section 8).
+
+The related-work claim we check: adaptive schedulers with parallelism
+feedback (ABG centrally, A-Steal via work stealing) waste far fewer
+processor cycles than the feedback-free ABP, which camps on the whole
+machine through a job's serial phases.  ABG additionally benefits from
+breadth-first measurement; A-Steal's depth-first stealing measures the same
+utilization signal but pays steal overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..core.abg import AControl
+from ..dag.builders import fork_join_from_phases
+from ..sim.single import simulate_job
+from ..stealing.asteal import ABPPolicy, ASteal
+from ..stealing.executor import WorkStealingExecutor
+from .common import default_rng_seed
+
+__all__ = ["StealingRow", "run_stealing_compare"]
+
+
+@dataclass(frozen=True, slots=True)
+class StealingRow:
+    scheduler: str
+    time_norm: float
+    waste_norm: float
+    avg_allotment: float
+    steal_success_rate: float
+    """Fraction of steal attempts that found work (0 for centralized ABG)."""
+
+
+def run_stealing_compare(
+    *,
+    width: int = 16,
+    iterations: int = 3,
+    phase_levels: int = 150,
+    quantum_length: int = 50,
+    processors: int = 32,
+    convergence_rate: float = 0.2,
+    num_jobs: int = 4,
+    seed: int = default_rng_seed,
+) -> list[StealingRow]:
+    """Run the three schedulers on the same explicit fork-join dags."""
+    rng = np.random.default_rng(seed)
+    phases: list[tuple[int, int]] = []
+    for _ in range(iterations):
+        phases.append((1, phase_levels))
+        phases.append((width, phase_levels))
+    dags = [fork_join_from_phases(phases) for _ in range(num_jobs)]
+
+    rows: list[StealingRow] = []
+
+    def collect(name, traces, stats_list):
+        rows.append(
+            StealingRow(
+                scheduler=name,
+                time_norm=float(
+                    np.mean([t.running_time / d.span for t, d in zip(traces, dags)])
+                ),
+                waste_norm=float(
+                    np.mean([t.total_waste / d.work for t, d in zip(traces, dags)])
+                ),
+                avg_allotment=float(np.mean([t.avg_allotment for t in traces])),
+                steal_success_rate=float(
+                    np.mean([s.steal_success_rate for s in stats_list])
+                )
+                if stats_list
+                else 0.0,
+            )
+        )
+
+    # ABG: centralized breadth-first greedy + A-Control
+    traces = [
+        simulate_job(d, AControl(convergence_rate), processors, quantum_length=quantum_length)
+        for d in dags
+    ]
+    collect("ABG", traces, [])
+
+    # A-Steal: work stealing + mult-inc/mult-dec feedback
+    traces, stats = [], []
+    for d in dags:
+        executor = WorkStealingExecutor(d, rng)
+        traces.append(
+            simulate_job(executor, ASteal(), processors, quantum_length=quantum_length)
+        )
+        stats.append(executor.stats)
+    collect("A-Steal", traces, stats)
+
+    # ABP: work stealing, no feedback (requests the whole machine)
+    traces, stats = [], []
+    for d in dags:
+        executor = WorkStealingExecutor(d, rng)
+        traces.append(
+            simulate_job(
+                executor, ABPPolicy(processors), processors, quantum_length=quantum_length
+            )
+        )
+        stats.append(executor.stats)
+    collect("ABP", traces, stats)
+
+    return rows

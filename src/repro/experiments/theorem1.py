@@ -1,0 +1,90 @@
+"""Theorem 1 — control-theoretic properties of ABG's requests.
+
+For a grid of constant parallelisms ``A`` and convergence rates ``r`` we
+score both the *analytic* closed loop (pole placed at ``r``) and the request
+trace of an *actual simulation* of ABG on a constant-parallelism job, and
+check the theorem's four properties: BIBO stability, zero steady-state
+error, zero overshoot, convergence at rate ``r``.  A-Greedy rows are included
+to show the contrast the paper draws (nonzero steady-state error, overshoot,
+sustained oscillation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..control.analysis import analyze_response
+from ..control.theory import verify_theorem1
+from ..core.abg import AControl
+from ..core.agreedy import AGreedy
+from ..sim.single import simulate_job
+from ..workloads.forkjoin import constant_parallelism_job
+
+__all__ = ["Theorem1Row", "run_theorem1"]
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Row:
+    policy: str
+    parallelism: int
+    convergence_rate: float
+    analytic_holds: bool
+    """Theorem 1's four properties on the analytic closed loop (always True
+    for ABG; not applicable — False — for A-Greedy)."""
+    sim_steady_state_error: float
+    sim_overshoot: float
+    sim_convergence_rate: float
+    sim_oscillation: float
+
+
+def _simulated_requests(policy, parallelism: int, num_quanta: int, L: int) -> np.ndarray:
+    job = constant_parallelism_job(parallelism, num_quanta * L)
+    trace = simulate_job(job, policy, 4 * parallelism, quantum_length=L)
+    return np.array(trace.request_series()[:num_quanta])
+
+
+def run_theorem1(
+    *,
+    parallelisms: Sequence[int] = (5, 10, 50),
+    rates: Sequence[float] = (0.0, 0.2, 0.5),
+    num_quanta: int = 24,
+    quantum_length: int = 1000,
+    include_agreedy: bool = True,
+) -> list[Theorem1Row]:
+    rows: list[Theorem1Row] = []
+    for a in parallelisms:
+        for r in rates:
+            verdict = verify_theorem1(a, r, num_quanta=num_quanta)
+            d = _simulated_requests(AControl(r), a, num_quanta, quantum_length)
+            m = analyze_response(d, float(a))
+            rows.append(
+                Theorem1Row(
+                    policy=f"ABG(r={r:g})",
+                    parallelism=int(a),
+                    convergence_rate=float(r),
+                    analytic_holds=verdict.holds,
+                    sim_steady_state_error=m.steady_state_error,
+                    sim_overshoot=m.overshoot,
+                    sim_convergence_rate=m.convergence_rate,
+                    sim_oscillation=m.oscillation_amplitude,
+                )
+            )
+        if include_agreedy:
+            d = _simulated_requests(AGreedy(), a, num_quanta, quantum_length)
+            m = analyze_response(d, float(a))
+            rows.append(
+                Theorem1Row(
+                    policy="A-Greedy",
+                    parallelism=int(a),
+                    convergence_rate=float("nan"),
+                    analytic_holds=False,
+                    sim_steady_state_error=m.steady_state_error,
+                    sim_overshoot=m.overshoot,
+                    sim_convergence_rate=m.convergence_rate,
+                    sim_oscillation=m.oscillation_amplitude,
+                )
+            )
+    return rows

@@ -1,0 +1,75 @@
+"""Trim-analysis demonstration — why speedup must be measured against the
+trimmed availability.
+
+Scenario: the ramped job (high parallelism, small transition factor) runs
+under three availability regimes.  Against the *raw* mean availability the
+adversary makes ABG look arbitrarily bad — it dangles the whole machine
+exactly while the job is serial; against the *trimmed* availability (Theorem
+3's budget) speedup is restored to the near-linear regime in every case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocators.availability import (
+    ConstantAvailability,
+    InverseParallelismAvailability,
+)
+from ..analysis.speedup import speedup_report
+from ..core.abg import AControl
+from ..sim.single import simulate_job
+from ..workloads.forkjoin import ramped_job
+
+__all__ = ["TrimDemoRow", "run_trim_demo"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrimDemoRow:
+    availability: str
+    speedup: float
+    raw_availability: float
+    trimmed_availability: float
+    linearity_vs_raw: float
+    linearity_vs_trimmed: float
+
+
+def run_trim_demo(
+    *,
+    peak_width: int = 64,
+    quantum_length: int = 1000,
+    convergence_rate: float = 0.2,
+) -> list[TrimDemoRow]:
+    job = ramped_job(
+        peak_width,
+        levels_per_phase=2 * quantum_length,
+        peak_levels=20 * quantum_length,
+    )
+    # Availabilities small enough that the run outlasts Theorem 3's trim
+    # budget (at large P the run is shorter than the budget and the bound is
+    # vacuous — see EXPERIMENTS.md).
+    scenarios = [
+        ("constant P=8", ConstantAvailability(8)),
+        ("constant P=4", ConstantAvailability(4)),
+        (
+            "adversarial 128/8",
+            InverseParallelismAvailability(high=128, low=8, cutoff=2.0),
+        ),
+    ]
+    rows: list[TrimDemoRow] = []
+    for name, availability in scenarios:
+        trace = simulate_job(
+            job, AControl(convergence_rate), availability, quantum_length=quantum_length
+        )
+        report = speedup_report(trace, job.work, job.span, convergence_rate)
+        rows.append(
+            TrimDemoRow(
+                availability=name,
+                speedup=report.speedup,
+                raw_availability=report.raw_availability,
+                trimmed_availability=report.trimmed_availability,
+                linearity_vs_raw=report.linearity_vs_raw,
+                linearity_vs_trimmed=report.linearity_vs_trimmed,
+            )
+        )
+    return rows

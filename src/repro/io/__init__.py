@@ -1,0 +1,21 @@
+"""Persistence of traces and results (versioned JSON)."""
+
+from .traces import (
+    SCHEMA_VERSION,
+    load_trace,
+    load_traces,
+    save_trace,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "save_traces",
+    "load_traces",
+]

@@ -1,0 +1,93 @@
+"""Serialization of job traces and simulation results.
+
+Traces round-trip through plain JSON so experiment outputs can be archived,
+diffed across code versions, or analyzed outside Python.  The schema is
+versioned; loading rejects unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.types import JobTrace, QuantumRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "save_traces",
+    "load_traces",
+]
+
+SCHEMA_VERSION = 1
+
+_RECORD_FIELDS = (
+    "index",
+    "request",
+    "request_int",
+    "available",
+    "allotment",
+    "work",
+    "span",
+    "steps",
+    "quantum_length",
+    "start_step",
+)
+
+
+def trace_to_dict(trace: JobTrace) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "quantum_length": trace.quantum_length,
+        "release_time": trace.release_time,
+        "job_id": trace.job_id,
+        "records": [
+            {f: getattr(rec, f) for f in _RECORD_FIELDS} for rec in trace.records
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> JobTrace:
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace schema {version!r}")
+    trace = JobTrace(
+        quantum_length=int(data["quantum_length"]),
+        release_time=int(data.get("release_time", 0)),
+        job_id=data.get("job_id"),
+    )
+    for raw in data["records"]:
+        trace.append(QuantumRecord(**{f: raw[f] for f in _RECORD_FIELDS}))
+    return trace
+
+
+def save_trace(trace: JobTrace, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace), indent=2))
+    return path
+
+
+def load_trace(path: str | Path) -> JobTrace:
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_traces(traces: dict[int, JobTrace], path: str | Path) -> Path:
+    """Persist a multiprogrammed result's traces keyed by job id."""
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "traces": {str(jid): trace_to_dict(t) for jid, t in traces.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_traces(path: str | Path) -> dict[int, JobTrace]:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported traces schema {data.get('schema')!r}")
+    return {int(jid): trace_from_dict(t) for jid, t in data["traces"].items()}

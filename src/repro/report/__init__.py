@@ -1,0 +1,18 @@
+"""Reporting: ASCII figure rendering and CSV/JSON export of experiment
+tables."""
+
+from .ascii import bar_chart, line_chart, sparkline
+from .export import rows_to_csv, rows_to_json, write_csv, write_json
+from .timeline import allotment_strip, timeline
+
+__all__ = [
+    "sparkline",
+    "line_chart",
+    "bar_chart",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_csv",
+    "write_json",
+    "timeline",
+    "allotment_strip",
+]

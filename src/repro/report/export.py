@@ -1,0 +1,50 @@
+"""Tabular export of experiment results (CSV / JSON)."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["rows_to_csv", "rows_to_json", "write_csv", "write_json"]
+
+
+def _record_of(row: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    raise TypeError(f"cannot export row of type {type(row).__name__}")
+
+
+def rows_to_csv(rows: Sequence[Any]) -> str:
+    """Render experiment rows (dataclasses or dicts) as CSV text."""
+    if not rows:
+        raise ValueError("no rows to export")
+    records = [_record_of(r) for r in rows]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()
+
+
+def rows_to_json(rows: Sequence[Any], *, indent: int = 2) -> str:
+    if not rows:
+        raise ValueError("no rows to export")
+    return json.dumps([_record_of(r) for r in rows], indent=indent)
+
+
+def write_csv(rows: Sequence[Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(rows_to_csv(rows))
+    return path
+
+
+def write_json(rows: Sequence[Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(rows_to_json(rows))
+    return path

@@ -1,0 +1,35 @@
+"""Two-level scheduling simulators and performance metrics."""
+
+from .jobs import ExecutorFactory, JobDescription, JobSpec, make_executor
+from .metrics import (
+    job_set_load,
+    makespan,
+    makespan_lower_bound,
+    mean_response_time,
+    mean_response_time_lower_bound,
+)
+from .multi import MultiJobResult, simulate_job_set
+from .results import SeriesStats, geometric_mean, summarize
+from .stats import ConfidenceInterval, bootstrap_ci, ratio_ci
+from .single import simulate_job
+
+__all__ = [
+    "JobDescription",
+    "ExecutorFactory",
+    "JobSpec",
+    "make_executor",
+    "simulate_job",
+    "simulate_job_set",
+    "MultiJobResult",
+    "makespan",
+    "mean_response_time",
+    "makespan_lower_bound",
+    "mean_response_time_lower_bound",
+    "job_set_load",
+    "SeriesStats",
+    "summarize",
+    "geometric_mean",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "ratio_ci",
+]

@@ -1,0 +1,74 @@
+"""Job specifications: what the simulators accept as "a job".
+
+Either job *description* (a :class:`~repro.engine.phased.PhasedJob`, an
+explicit :class:`~repro.dag.graph.Dag`, or a zero-argument *executor
+factory* for custom engines such as work stealing) can be handed to the
+simulators; a fresh executor is created per run.  A ready-made
+:class:`~repro.engine.base.JobExecutor` is also accepted for single runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.feedback import FeedbackPolicy
+from ..dag.graph import Dag
+from ..engine.base import JobExecutor
+from ..engine.explicit import Discipline, ExplicitExecutor
+from ..engine.phased import PhasedExecutor, PhasedJob
+
+__all__ = ["JobSpec", "make_executor", "JobDescription", "ExecutorFactory"]
+
+ExecutorFactory = Callable[[], JobExecutor]
+JobDescription = PhasedJob | Dag | JobExecutor | ExecutorFactory
+
+
+def make_executor(job: JobDescription, discipline: Discipline = "breadth-first") -> JobExecutor:
+    """Create a fresh executor for a job description.
+
+    Phased jobs always execute with B-Greedy's breadth-first wavefront (for
+    which the closed form holds); explicit dags honor ``discipline``; a
+    zero-argument callable is treated as an executor factory (for custom
+    engines such as :class:`~repro.stealing.executor.WorkStealingExecutor`);
+    an executor instance is returned as-is (caller owns its freshness).
+    """
+    if isinstance(job, PhasedJob):
+        return PhasedExecutor(job)
+    if isinstance(job, Dag):
+        return ExplicitExecutor(job, discipline)
+    if isinstance(job, JobExecutor):
+        return job
+    if callable(job):
+        executor = job()
+        if not isinstance(executor, JobExecutor):
+            raise TypeError(
+                f"executor factory returned {type(executor).__name__}, "
+                "expected a JobExecutor"
+            )
+        return executor
+    raise TypeError(f"not a job description: {job!r}")
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One job in a multiprogrammed simulation.
+
+    ``job`` must be re-instantiable — a :class:`PhasedJob`, a :class:`Dag`,
+    or an executor *factory* — so the simulator can create fresh run state.
+    """
+
+    job: JobDescription
+    feedback: FeedbackPolicy
+    release_time: int = 0
+    discipline: Discipline = "breadth-first"
+    job_id: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.release_time < 0:
+            raise ValueError("release time must be non-negative")
+        if isinstance(self.job, JobExecutor):
+            raise TypeError(
+                "JobSpec needs a re-instantiable job description "
+                "(PhasedJob, Dag, or an executor factory), not an executor"
+            )

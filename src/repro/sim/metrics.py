@@ -1,0 +1,92 @@
+"""Set-level performance metrics and the theoretical lower bounds the paper
+normalizes against.
+
+- Makespan lower bound: ``M* >= max(total work / P, max_j (release_j +
+  span_j))`` — no schedule can beat the machine's aggregate throughput or any
+  single job's critical path from its release.
+- Mean response time lower bound for *batched* job sets (all released
+  together): ``R* >= max(mean span, squashed-area bound)``.  The squashed-area
+  bound runs jobs shortest-work-first on all ``P`` processors with perfect
+  efficiency: with works sorted ascending ``w_(1) <= ... <= w_(n)``, job
+  ``i``'s completion is at least ``(1/P) * sum_{k<=i} w_(k)``, giving
+  ``R* >= (1/(n*P)) * sum_i (n - i + 1) * w_(i)``.
+
+These are the standard bounds used by the paper's references [11, 12] and in
+its Figure 6 normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.types import JobTrace
+
+__all__ = [
+    "makespan",
+    "mean_response_time",
+    "makespan_lower_bound",
+    "mean_response_time_lower_bound",
+    "job_set_load",
+]
+
+
+def makespan(traces: Iterable[JobTrace]) -> int:
+    """Completion time of the last job (time 0 = first quantum boundary)."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("no traces")
+    return max(t.completion_time for t in traces)
+
+
+def mean_response_time(traces: Iterable[JobTrace]) -> float:
+    """Average of completion minus release over the job set."""
+    times = [t.response_time for t in traces]
+    if not times:
+        raise ValueError("no traces")
+    return float(np.mean(times))
+
+
+def makespan_lower_bound(
+    works: Sequence[int],
+    spans: Sequence[int],
+    releases: Sequence[int],
+    processors: int,
+) -> float:
+    """``M* = max(sum(T1)/P, max(release + Tinf))``."""
+    if not works or len(works) != len(spans) or len(works) != len(releases):
+        raise ValueError("works, spans, releases must be equal-length and non-empty")
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    throughput = sum(works) / processors
+    critical = max(r + s for r, s in zip(releases, spans))
+    return max(throughput, float(critical))
+
+
+def mean_response_time_lower_bound(
+    works: Sequence[int],
+    spans: Sequence[int],
+    processors: int,
+) -> float:
+    """Batched mean-response-time lower bound ``R* = max(mean span,
+    squashed-area / n)``."""
+    if not works or len(works) != len(spans):
+        raise ValueError("works and spans must be equal-length and non-empty")
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    n = len(works)
+    mean_span = float(np.mean(spans))
+    sorted_works = np.sort(np.asarray(works, dtype=np.float64))
+    weights = np.arange(n, 0, -1, dtype=np.float64)  # n, n-1, ..., 1
+    squashed = float(np.dot(weights, sorted_works)) / processors
+    return max(mean_span, squashed / n)
+
+
+def job_set_load(works: Sequence[int], spans: Sequence[int], processors: int) -> float:
+    """The paper's load measure (Section 7.2): total average parallelism of
+    the job set normalized by the machine size."""
+    if not works or len(works) != len(spans):
+        raise ValueError("works and spans must be equal-length and non-empty")
+    total_parallelism = sum(w / s for w, s in zip(works, spans))
+    return total_parallelism / processors

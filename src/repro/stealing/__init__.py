@@ -1,0 +1,16 @@
+"""Work-stealing substrate: the ABP deque, a discrete-time work-stealing
+executor, and the A-Steal / ABP schedulers from the paper's related work."""
+
+from .asteal import ABPPolicy, ASteal, make_abp, make_asteal
+from .deque import WorkStealingDeque
+from .executor import StealStats, WorkStealingExecutor
+
+__all__ = [
+    "WorkStealingDeque",
+    "WorkStealingExecutor",
+    "StealStats",
+    "ASteal",
+    "ABPPolicy",
+    "make_asteal",
+    "make_abp",
+]

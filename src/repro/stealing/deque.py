@@ -1,0 +1,55 @@
+"""Work-stealing deque (the ABP deque's sequential semantics).
+
+Arora, Blumofe, and Plaxton's non-blocking deque gives each worker a private
+double-ended queue: the owner pushes and pops *ready tasks* at the bottom
+(depth-first), thieves steal single tasks from the top (breadth-first-ish —
+the top holds the shallowest, largest-grained work).  Our simulator is
+discrete-time and sequential, so we keep the semantics without the
+lock-free protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque as _deque
+
+__all__ = ["WorkStealingDeque"]
+
+
+class WorkStealingDeque:
+    """Owner operates at the bottom; thieves steal from the top."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: _deque[int] = _deque()
+
+    def push_bottom(self, task: int) -> None:
+        self._items.append(task)
+
+    def pop_bottom(self) -> int | None:
+        """Owner's pop; ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.pop()
+
+    def steal_top(self) -> int | None:
+        """Thief's steal; ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def drain(self) -> list[int]:
+        """Remove and return everything (used when a worker is mugged —
+        descheduled on an allotment decrease)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkStealingDeque({list(self._items)!r})"

@@ -1,0 +1,174 @@
+"""Discrete-time work-stealing execution of explicit dags.
+
+This is the distributed counterpart of the centralized engines in
+:mod:`repro.engine` — the execution substrate of the ABP scheduler (Arora,
+Blumofe, Plaxton) and of A-Steal (Agrawal, He, Leiserson), both discussed in
+the paper's related work (Section 8).
+
+Model (one time step, ``a`` workers):
+
+- a worker holding a task executes it; enabled children are pushed to the
+  bottom of its own deque (depth-first order, as in Cilk-style runtimes);
+- a worker whose deque is empty makes one *steal attempt* at a uniformly
+  random victim; a successful steal takes the top task of the victim's deque
+  and executes it next step; a failed attempt wastes the cycle;
+- when the allotment shrinks between quanta, surplus workers are *mugged*:
+  their deques drain into the surviving workers' deques; when it grows, new
+  workers start empty and steal.
+
+The per-quantum measurements are the same as the centralized engines
+(``T1(q)``, fractional ``Tinf(q)``), plus steal statistics.  Note that
+``Tinf(q) <= steps`` is NOT guaranteed here: depth-first execution smears
+completions across dag levels, which is exactly the measurement problem
+B-Greedy's breadth-first discipline avoids (see the discipline ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..engine.base import JobExecutor, QuantumExecution
+from .deque import WorkStealingDeque
+
+__all__ = ["StealStats", "WorkStealingExecutor"]
+
+
+@dataclass(slots=True)
+class StealStats:
+    """Cumulative work-stealing behaviour across the run."""
+
+    steal_attempts: int = 0
+    successful_steals: int = 0
+    idle_cycles: int = 0
+    muggings: int = 0
+
+    @property
+    def steal_success_rate(self) -> float:
+        if self.steal_attempts == 0:
+            return 0.0
+        return self.successful_steals / self.steal_attempts
+
+
+class WorkStealingExecutor(JobExecutor):
+    """Executes an explicit dag with randomized work stealing."""
+
+    def __init__(self, dag: Dag, rng: np.random.Generator):
+        self._dag = dag
+        self._rng = rng
+        self._indegree = np.fromiter(
+            (dag.in_degree(t) for t in range(dag.num_tasks)),
+            dtype=np.int64,
+            count=dag.num_tasks,
+        )
+        self._remaining = dag.num_tasks
+        self._level_sizes = dag.level_sizes
+        self._deques: list[WorkStealingDeque] = [WorkStealingDeque()]
+        # workers pick up their next task at the *start* of a step; holding
+        # slots model the task a worker is about to execute
+        self._holding: list[int | None] = [None]
+        self.stats = StealStats()
+        for t in dag.sources():
+            self._deques[0].push_bottom(t)
+
+    # ------------------------------------------------------------------
+
+    def _resize_workers(self, count: int) -> None:
+        current = len(self._deques)
+        if count > current:
+            self._deques.extend(WorkStealingDeque() for _ in range(count - current))
+            self._holding.extend(None for _ in range(count - current))
+        elif count < current:
+            # mugging: surplus workers' held tasks and deques migrate to the
+            # survivors (round-robin), preserving all ready work
+            spill: list[int] = []
+            for i in range(count, current):
+                if self._holding[i] is not None:
+                    spill.append(self._holding[i])  # type: ignore[arg-type]
+                spill.extend(self._deques[i].drain())
+                self.stats.muggings += 1
+            del self._deques[count:]
+            del self._holding[count:]
+            for j, task in enumerate(spill):
+                self._deques[j % count].push_bottom(task)
+
+    # ------------------------------------------------------------------
+
+    def execute_quantum(self, allotment: int, max_steps: int) -> QuantumExecution:
+        self._check_quantum_args(allotment, max_steps)
+        self._resize_workers(allotment)
+        dag = self._dag
+        levels = dag.levels
+        completed_per_level = np.zeros(dag.num_levels + 1, dtype=np.int64)
+        work = 0
+        steps = 0
+        while steps < max_steps and self._remaining > 0:
+            steps += 1
+            executing: list[tuple[int, int]] = []  # (worker, task)
+            for w in range(allotment):
+                task = self._holding[w]
+                if task is None:
+                    task = self._deques[w].pop_bottom()
+                if task is None:
+                    # steal attempt at a random victim (possibly itself —
+                    # then it simply fails, a conventional simplification)
+                    self.stats.steal_attempts += 1
+                    victim = int(self._rng.integers(0, allotment))
+                    stolen = self._deques[victim].steal_top() if victim != w else None
+                    if stolen is None:
+                        self.stats.idle_cycles += 1
+                        self._holding[w] = None
+                        continue
+                    self.stats.successful_steals += 1
+                    # the stolen task executes next step (the steal itself
+                    # costs this cycle)
+                    self._holding[w] = stolen
+                    continue
+                self._holding[w] = None
+                executing.append((w, task))
+            for w, task in executing:
+                work += 1
+                self._remaining -= 1
+                completed_per_level[levels[task]] += 1
+                for child in dag.successors(task):
+                    self._indegree[child] -= 1
+                    if self._indegree[child] == 0:
+                        self._deques[w].push_bottom(child)
+        span = float(
+            np.sum(completed_per_level[1:] / self._level_sizes.astype(np.float64))
+        )
+        return QuantumExecution(
+            work=work, span=span, steps=steps, finished=self._remaining == 0
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def total_work(self) -> int:
+        return self._dag.work
+
+    @property
+    def total_span(self) -> int:
+        return self._dag.span
+
+    @property
+    def remaining_work(self) -> int:
+        return self._remaining
+
+    @property
+    def dag(self) -> Dag:
+        return self._dag
+
+    @property
+    def current_parallelism(self) -> float:
+        if self.finished:
+            return 0.0
+        ready = sum(len(d) for d in self._deques)
+        ready += sum(1 for h in self._holding if h is not None)
+        return float(max(1, ready))

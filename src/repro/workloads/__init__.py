@@ -1,0 +1,29 @@
+"""Workload generators: fork-join jobs, multiprogrammed job sets, and
+parallelism profiles."""
+
+from .arrivals import poisson_releases, staggered_releases, uniform_releases
+from .forkjoin import (
+    ForkJoinGenerator,
+    constant_parallelism_job,
+    fork_join_job,
+    ramped_job,
+    structural_transition_factor,
+)
+from .jobsets import JobSetGenerator, JobSetSample
+from .profiles import job_from_profile, profile_of_job, random_profile
+
+__all__ = [
+    "poisson_releases",
+    "uniform_releases",
+    "staggered_releases",
+    "ForkJoinGenerator",
+    "constant_parallelism_job",
+    "fork_join_job",
+    "ramped_job",
+    "structural_transition_factor",
+    "JobSetGenerator",
+    "JobSetSample",
+    "job_from_profile",
+    "profile_of_job",
+    "random_profile",
+]

@@ -1,0 +1,72 @@
+"""Parallelism-profile utilities.
+
+A *parallelism profile* is the per-level width sequence of a job.  Profiles
+round-trip with :class:`~repro.engine.phased.PhasedJob` (consecutive equal
+widths collapse into phases; note the phased model inserts a barrier at every
+width change, which is exactly the fork-join reading of a profile), and a
+profile can be replayed from any recorded trace of level widths — e.g. a
+downstream user's measured application profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.phased import Phase, PhasedJob
+
+__all__ = ["job_from_profile", "profile_of_job", "random_profile"]
+
+
+def job_from_profile(widths: Sequence[int]) -> PhasedJob:
+    """Build a phased job from a per-level width sequence.
+
+    Runs of equal width become single phases; every width change is a
+    barrier (fork/join) — the canonical dag realization of a measured
+    parallelism profile.
+    """
+    if not widths:
+        raise ValueError("profile must contain at least one level")
+    phases: list[Phase] = []
+    run_width = int(widths[0])
+    run_len = 0
+    for w in widths:
+        w = int(w)
+        if w < 1:
+            raise ValueError("profile widths must be >= 1")
+        if w == run_width:
+            run_len += 1
+        else:
+            phases.append(Phase(run_width, run_len))
+            run_width, run_len = w, 1
+    phases.append(Phase(run_width, run_len))
+    return PhasedJob(phases)
+
+
+def profile_of_job(job: PhasedJob) -> list[int]:
+    """Inverse of :func:`job_from_profile` (up to phase-run merging)."""
+    return job.parallelism_profile()
+
+
+def random_profile(
+    rng: np.random.Generator,
+    num_segments: int,
+    *,
+    segment_levels: tuple[int, int] = (100, 1000),
+    widths: tuple[int, int] = (1, 64),
+) -> list[int]:
+    """A random piecewise-constant profile: ``num_segments`` runs of uniform
+    width — handy for stress-testing feedback policies on irregular jobs."""
+    if num_segments < 1:
+        raise ValueError("need at least one segment")
+    if not (1 <= widths[0] <= widths[1]):
+        raise ValueError("invalid width range")
+    if not (1 <= segment_levels[0] <= segment_levels[1]):
+        raise ValueError("invalid segment-length range")
+    out: list[int] = []
+    for _ in range(num_segments):
+        w = int(rng.integers(widths[0], widths[1] + 1))
+        n = int(rng.integers(segment_levels[0], segment_levels[1] + 1))
+        out.extend([w] * n)
+    return out

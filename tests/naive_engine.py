@@ -1,0 +1,59 @@
+"""A deliberately naive reference scheduler used only by tests.
+
+Recomputes the ready set from scratch every step with plain set operations
+(O(V^2) overall) and sorts candidates explicitly.  Slow and obviously
+correct — the production engines are validated against it.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import Dag
+
+__all__ = ["naive_quantum"]
+
+
+class NaiveState:
+    def __init__(self, dag: Dag):
+        self.dag = dag
+        self.done: set[int] = set()
+
+    def ready(self) -> list[int]:
+        return [
+            t
+            for t in range(self.dag.num_tasks)
+            if t not in self.done
+            and all(p in self.done for p in self.dag.predecessors(t))
+        ]
+
+    def step(self, allotment: int, discipline: str) -> list[int]:
+        ready = self.ready()
+        if discipline == "breadth-first":
+            ready.sort(key=lambda t: (self.dag.level_of(t), t))
+        scheduled = ready[: min(allotment, len(ready))]
+        self.done.update(scheduled)
+        return scheduled
+
+    @property
+    def finished(self) -> bool:
+        return len(self.done) == self.dag.num_tasks
+
+
+def naive_quantum(
+    state: NaiveState, allotment: int, max_steps: int, discipline: str = "breadth-first"
+) -> tuple[int, float, int, bool]:
+    """(work, span, steps, finished) of one quantum, first principles."""
+    level_sizes = state.dag.level_sizes
+    completed_per_level = [0] * (state.dag.num_levels + 1)
+    work = 0
+    steps = 0
+    while steps < max_steps and not state.finished:
+        scheduled = state.step(allotment, discipline)
+        steps += 1
+        work += len(scheduled)
+        for t in scheduled:
+            completed_per_level[state.dag.level_of(t)] += 1
+    span = sum(
+        completed_per_level[lvl + 1] / level_sizes[lvl]
+        for lvl in range(state.dag.num_levels)
+    )
+    return work, float(span), steps, state.finished

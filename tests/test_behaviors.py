@@ -1,0 +1,209 @@
+"""Deeper behavioral tests cutting across modules: boundary conditions,
+cross-representation consistency, and scheduler dynamics under transitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocators.availability import InverseParallelismAvailability
+from repro.allocators.equipartition import DynamicEquiPartitioning
+from repro.allocators.roundrobin import RoundRobinAllocator
+from repro.analysis.bounds import theorem3_time_bound
+from repro.analysis.trim import classify_quanta, trimmed_availability
+from repro.control.lti import FirstOrderLoop
+from repro.core.abg import AControl
+from repro.core.quantum_policy import AdaptiveQuantumLength
+from repro.core.overhead import ReallocationOverhead
+from repro.core.reference import FixedRequest
+from repro.dag.builders import fork_join_from_phases
+from repro.engine.explicit import ExplicitExecutor
+from repro.engine.phased import PhasedExecutor, PhasedJob
+from repro.experiments import run_fig5
+from repro.report.ascii import line_chart
+from repro.sim.jobs import JobSpec
+from repro.sim.multi import simulate_job_set
+from repro.sim.single import simulate_job
+from repro.workloads.forkjoin import ForkJoinGenerator, ramped_job
+
+
+class TestCrossRepresentation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(1, 8), st.integers(1, 10)), min_size=1, max_size=4)
+    )
+    def test_profile_matches_explicit_level_sizes(self, phases):
+        job = PhasedJob(phases)
+        dag = fork_join_from_phases(phases)
+        assert job.parallelism_profile() == list(dag.level_sizes)
+        assert job.work == dag.work
+        assert job.span == dag.span
+        assert job.average_parallelism == pytest.approx(dag.average_parallelism)
+
+
+class TestDegenerateQuanta:
+    def test_quantum_length_one(self):
+        job = PhasedJob([(1, 3), (4, 3)])
+        trace = simulate_job(job, AControl(0.0), 8, quantum_length=1)
+        assert trace.total_work == job.work
+        assert all(r.steps == 1 for r in trace.records[:-1])
+
+    def test_allotment_exceeding_total_work(self):
+        ex = PhasedExecutor(PhasedJob([(2, 1)]))
+        res = ex.execute_quantum(1000, 5)
+        assert res.work == 2 and res.steps == 1 and res.finished
+
+    def test_single_task_job(self):
+        trace = simulate_job(PhasedJob([(1, 1)]), AControl(0.2), 4, quantum_length=10)
+        assert len(trace) == 1
+        assert trace.running_time == 1
+
+    def test_explicit_single_task(self):
+        ex = ExplicitExecutor(fork_join_from_phases([(1, 1)]))
+        res = ex.execute_quantum(3, 10)
+        assert (res.work, res.steps, res.finished) == (1, 1, True)
+
+
+class TestRequestDynamicsAcrossTransitions:
+    def test_acontrol_request_bounded_by_recent_parallelism(self):
+        """Requests are convex combinations of history, so they can never
+        exceed the max measured parallelism (nor drop below the min)."""
+        job = PhasedJob([(1, 3000), (30, 3000), (1, 3000), (30, 3000)])
+        trace = simulate_job(job, AControl(0.2), 128, quantum_length=1000)
+        max_a = max(r.avg_parallelism for r in trace)
+        for rec in trace:
+            assert rec.request <= max_a + 1e-9
+            assert rec.request >= 1.0
+
+    def test_one_step_convergence_tracks_phases(self):
+        """r=0: the request equals the previous quantum's parallelism."""
+        job = PhasedJob([(1, 2000), (12, 2000)])
+        trace = simulate_job(job, AControl(0.0), 64, quantum_length=1000)
+        for prev, cur in zip(trace.records, trace.records[1:]):
+            assert cur.request == pytest.approx(prev.avg_parallelism)
+
+    def test_slower_rate_lags_more(self):
+        job = PhasedJob([(1, 3000), (24, 6000)])
+        fast = simulate_job(job, AControl(0.0), 64, quantum_length=1000)
+        slow = simulate_job(job, AControl(0.8), 64, quantum_length=1000)
+        assert slow.running_time >= fast.running_time
+
+
+class TestAdversarialAvailabilityScenario:
+    def _trace(self):
+        job = ramped_job(64, levels_per_phase=2000, peak_levels=10_000)
+        policy = AControl(0.2)
+        avail = InverseParallelismAvailability(high=128, low=4, cutoff=2.0)
+        return job, simulate_job(job, policy, avail, quantum_length=1000)
+
+    def test_accounted_quanta_exist(self):
+        _, trace = self._trace()
+        classes = classify_quanta(trace)
+        assert len(classes.accounted) > 0
+        assert sum(classes.counts) == len(trace)
+
+    def test_trimmed_below_raw_mean(self):
+        _, trace = self._trace()
+        raw = trimmed_availability(trace, 0)
+        trimmed = trimmed_availability(trace, 5000)
+        assert trimmed < raw
+
+    def test_theorem3_under_adversary(self):
+        job, trace = self._trace()
+        cl = trace.measured_transition_factor()
+        if 0.2 * cl < 1.0:
+            report = theorem3_time_bound(trace, job.work, job.span, 0.2)
+            assert report.holds
+
+
+class TestRoundRobinIdling:
+    def test_processors_idle_while_deprived(self):
+        """Round-robin's defining flaw: a declined share is not redistributed
+        even when another job wants it."""
+        rr = RoundRobinAllocator()
+        alloc = rr.allocate({1: 1, 2: 100}, 10)
+        assert alloc[1] == 1
+        assert alloc[2] < 100
+        assert sum(alloc.values()) < 10  # processors idle under contention
+
+
+class TestOverheadWithAdaptiveQuantum:
+    def test_compose_without_error(self):
+        job = PhasedJob([(1, 500), (8, 800)])
+        trace = simulate_job(
+            job,
+            AControl(0.2),
+            32,
+            quantum_length=AdaptiveQuantumLength(100, min_length=50, max_length=400),
+            overhead=ReallocationOverhead(per_processor=2.0),
+        )
+        assert trace.total_work == job.work
+
+
+class TestNegativePoleOvershoot:
+    def test_gain_above_parallelism_oscillates(self):
+        """K in (A, 2A): pole in (-1, 0) — stable but alternating, i.e.
+        overshoot.  This is why Theorem 1 restricts r to [0, 1), keeping the
+        pole non-negative."""
+        loop = FirstOrderLoop(parallelism=10.0, gain=15.0)  # pole -0.5
+        assert loop.is_bibo_stable
+        d = loop.request_response(12, d1=1.0)
+        assert np.max(d) > 10.0  # overshoots the target
+        err = d - 10.0
+        signs = np.sign(err[np.abs(err) > 1e-6])
+        assert np.any(signs[1:] != signs[:-1])  # alternates around A
+
+
+class TestExperimentDeterminism:
+    def test_fig5_same_seed_identical(self):
+        a = run_fig5(factors=(5, 40), jobs_per_factor=3, seed=42)
+        b = run_fig5(factors=(5, 40), jobs_per_factor=3, seed=42)
+        assert a.points == b.points
+
+    def test_fig5_different_seed_differs(self):
+        a = run_fig5(factors=(5,), jobs_per_factor=3, seed=1)
+        b = run_fig5(factors=(5,), jobs_per_factor=3, seed=2)
+        assert a.points != b.points
+
+
+class TestChartLimits:
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0, 0.0), (1, 1.0)] for i in range(9)}
+        with pytest.raises(ValueError):
+            line_chart(series)
+
+
+class TestMultiQuantumAccounting:
+    def test_trace_start_steps_are_quantum_aligned(self):
+        jobs = [PhasedJob([(2, 120)]), PhasedJob([(3, 90)])]
+        specs = [JobSpec(job=j, feedback=FixedRequest(4)) for j in jobs]
+        result = simulate_job_set(specs, DynamicEquiPartitioning(), 16, quantum_length=50)
+        for trace in result.traces.values():
+            for rec in trace:
+                assert rec.start_step % 50 == 0
+
+    def test_quanta_elapsed_counter(self):
+        jobs = [PhasedJob([(1, 100)])]
+        specs = [JobSpec(job=j, feedback=FixedRequest(1)) for j in jobs]
+        result = simulate_job_set(specs, DynamicEquiPartitioning(), 4, quantum_length=25)
+        assert result.quanta_elapsed == 4
+        assert result.released == {0: 0}
+
+
+class TestGeneratorEdgeCases:
+    def test_factor_one_is_serial_like(self, rng):
+        gen = ForkJoinGenerator(quantum_length=50)
+        job = gen.generate(rng, transition_factor=1)
+        assert job.max_width == 1
+        assert job.average_parallelism == 1.0
+
+    def test_trace_parallelism_series_full_flag(self):
+        job = PhasedJob([(3, 70)])
+        trace = simulate_job(job, AControl(0.2), 16, quantum_length=30)
+        full = trace.avg_parallelism_series(full_only=True)
+        every = trace.avg_parallelism_series(full_only=False)
+        assert len(every) == len(trace)
+        assert len(full) == len(trace.full_quanta)

@@ -1,0 +1,98 @@
+"""Unit tests for the fixed-gain controller contrast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.controllers import FixedGainIntegral, tuned_gain
+from repro.core.abg import AControl
+from repro.experiments import run_controller_compare
+from repro.sim.single import simulate_job
+from repro.workloads.forkjoin import constant_parallelism_job
+
+from conftest import make_record
+
+
+class TestTunedGain:
+    def test_theorem1_placement(self):
+        assert tuned_gain(10.0, 0.2) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tuned_gain(0.0)
+        with pytest.raises(ValueError):
+            tuned_gain(5.0, 1.0)
+
+
+class TestFixedGainIntegral:
+    def test_matches_acontrol_at_tuning_point(self):
+        """With K = (1-r)*A0 and actual A = A0 the laws coincide."""
+        fixed = FixedGainIntegral(tuned_gain(10.0, 0.2))
+        adaptive = AControl(0.2)
+        rec = make_record(request=4.0, work=4000, span=400.0)  # A = 10
+        assert fixed.next_request(rec) == pytest.approx(adaptive.next_request(rec))
+
+    def test_pole_formula(self):
+        c = FixedGainIntegral(8.0)
+        assert c.closed_loop_pole(10.0) == pytest.approx(0.2)
+        assert c.closed_loop_pole(4.0) == pytest.approx(-1.0)
+
+    def test_stability_window(self):
+        c = FixedGainIntegral(8.0)
+        assert c.is_stable_for(10.0)
+        assert not c.is_stable_for(4.0)  # pole -1: marginally unstable
+        assert not c.is_stable_for(3.0)
+
+    def test_clamping(self):
+        c = FixedGainIntegral(100.0, request_cap=32.0)
+        # huge gain on low parallelism: raw update would go far negative
+        rec = make_record(request=8.0, request_int=8, allotment=8, work=8000, span=4000.0)  # A=2
+        assert c.next_request(rec) == 1.0
+
+    def test_empty_quantum_holds(self):
+        c = FixedGainIntegral(8.0)
+        rec = make_record(request=6.0, request_int=6, allotment=6, work=0, span=0.0, steps=0)
+        assert c.next_request(rec) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedGainIntegral(0.0)
+        with pytest.raises(ValueError):
+            FixedGainIntegral(5.0, request_cap=0.5)
+        with pytest.raises(ValueError):
+            FixedGainIntegral(5.0).closed_loop_pole(0.0)
+
+
+class TestMismatchBehaviour:
+    def test_unstable_below_tuning_point(self):
+        """Tuned for A0=8, run at A=2: bang-bang oscillation, large waste."""
+        policy = FixedGainIntegral(tuned_gain(8.0, 0.2), request_cap=64)
+        job = constant_parallelism_job(2, 8000)
+        trace = simulate_job(job, policy, 64, quantum_length=500)
+        reqs = trace.request_series()[4:16]
+        assert max(reqs) - min(reqs) > 1.0  # persistent oscillation
+
+    def test_sluggish_above_tuning_point(self):
+        """Tuned for A0=8, run at A=64: stable but converges far slower than
+        the adaptive controller."""
+        fixed = FixedGainIntegral(tuned_gain(8.0, 0.2), request_cap=256)
+        adaptive = AControl(0.2)
+        job = constant_parallelism_job(64, 12_000)
+        t_fixed = simulate_job(job, fixed, 256, quantum_length=500)
+        t_adaptive = simulate_job(job, adaptive, 256, quantum_length=500)
+        assert t_fixed.running_time > t_adaptive.running_time * 1.2
+
+    def test_experiment_driver(self):
+        rows = run_controller_compare(
+            parallelisms=(2, 8, 64), tuned_for=8, num_quanta=16
+        )
+        by = {(r.controller, r.parallelism): r for r in rows}
+        abg = [r for r in rows if r.controller.startswith("ABG")]
+        assert all(r.settled for r in abg)
+        fixed = [r for r in rows if r.controller.startswith("FixedGain")]
+        assert any(not r.settled for r in fixed)
+        # at the tuning point the two coincide
+        k = next(r.controller for r in fixed)
+        assert by[(k, 8)].steady_state_error == pytest.approx(
+            by[("ABG(r=0.2)", 8)].steady_state_error, abs=1e-6
+        )

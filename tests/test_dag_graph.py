@@ -1,0 +1,169 @@
+"""Unit tests for repro.dag.graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dag.graph import Dag, DagValidationError
+
+
+class TestConstruction:
+    def test_single_task(self):
+        d = Dag(1, [])
+        assert d.work == 1
+        assert d.span == 1
+        assert d.sources() == [0]
+        assert d.sinks() == [0]
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(DagValidationError):
+            Dag(0, [])
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(DagValidationError):
+            Dag(2, [(0, 2)])
+        with pytest.raises(DagValidationError):
+            Dag(2, [(-1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DagValidationError):
+            Dag(2, [(1, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(DagValidationError):
+            Dag(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(DagValidationError):
+            Dag(2, [(0, 1), (1, 0)])
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        d = Dag(4, [(0, 1), (1, 2), (2, 3)])
+        assert list(d.levels) == [1, 2, 3, 4]
+        assert d.num_levels == 4
+
+    def test_independent_tasks_all_level_one(self):
+        d = Dag(5, [])
+        assert list(d.levels) == [1] * 5
+        assert d.num_levels == 1
+
+    def test_diamond_levels(self):
+        # 0 -> {1, 2} -> 3
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert list(d.levels) == [1, 2, 2, 3]
+
+    def test_level_is_longest_path(self):
+        # 0 -> 1 -> 3 and 0 -> 3: level(3) must follow the longer chain
+        d = Dag(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert d.level_of(3) == 4
+
+    def test_level_sizes(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert list(d.level_sizes) == [1, 2, 1]
+
+    def test_parallelism_profile_is_level_sizes(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert list(d.parallelism_profile()) == [1, 2, 1]
+
+    def test_levels_view_read_only(self):
+        d = Dag(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            d.levels[0] = 7
+
+
+class TestAccessors:
+    def test_predecessors_successors(self):
+        d = Dag(3, [(0, 1), (0, 2), (1, 2)])
+        assert list(d.successors(0)) == [1, 2]
+        assert list(d.predecessors(2)) == [0, 1]
+        assert d.in_degree(2) == 2
+
+    def test_num_edges(self):
+        d = Dag(3, [(0, 1), (0, 2), (1, 2)])
+        assert d.num_edges == 3
+
+    def test_topological_order_respects_edges(self):
+        d = Dag(5, [(0, 2), (1, 2), (2, 3), (2, 4)])
+        order = list(d.topological_order())
+        pos = {t: i for i, t in enumerate(order)}
+        for u in range(5):
+            for v in d.successors(u):
+                assert pos[u] < pos[v]
+
+    def test_sources_and_sinks(self):
+        d = Dag(4, [(0, 2), (1, 2), (2, 3)])
+        assert d.sources() == [0, 1]
+        assert d.sinks() == [3]
+
+
+class TestCharacteristics:
+    def test_work_is_task_count(self):
+        d = Dag(7, [(0, 1)])
+        assert d.work == 7
+
+    def test_average_parallelism(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert d.average_parallelism == pytest.approx(4 / 3)
+
+    def test_span_counts_nodes_not_edges(self):
+        # The paper: "the number of nodes on the longest dependency chain"
+        d = Dag(3, [(0, 1), (1, 2)])
+        assert d.span == 3
+
+
+class TestEquality:
+    def test_equal_dags(self):
+        a = Dag(3, [(0, 1), (1, 2)])
+        b = Dag(3, [(0, 1), (1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_dags(self):
+        assert Dag(3, [(0, 1), (1, 2)]) != Dag(3, [(0, 1)])
+
+    def test_not_equal_to_other_types(self):
+        assert Dag(1, []) != "dag"
+
+
+@st.composite
+def random_dag_edges(draw):
+    """Random dags as forward edges over a shuffled ordering (always acyclic)."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    edges = []
+    for v in range(1, n):
+        for u in range(v):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return n, edges
+
+
+class TestPropertyInvariants:
+    @given(random_dag_edges())
+    def test_levels_are_consistent(self, spec):
+        n, edges = spec
+        d = Dag(n, edges)
+        levels = d.levels
+        for u, _ in enumerate(range(n)):
+            for v in d.successors(u):
+                assert levels[v] >= levels[u] + 1
+        # every task reachable from a source has a well-defined level >= 1
+        assert np.all(levels >= 1)
+        assert d.span == int(levels.max())
+
+    @given(random_dag_edges())
+    def test_level_sizes_sum_to_work(self, spec):
+        n, edges = spec
+        d = Dag(n, edges)
+        assert int(d.level_sizes.sum()) == d.work
+
+    @given(random_dag_edges())
+    def test_sources_have_level_one(self, spec):
+        n, edges = spec
+        d = Dag(n, edges)
+        for s in d.sources():
+            assert d.level_of(s) == 1

@@ -1,0 +1,30 @@
+"""Executes the doctest examples embedded in user-facing docstrings, so the
+documentation can never drift from the code."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_readme_quickstart_runs():
+    """The README's quickstart block, executed literally."""
+    import numpy as np
+
+    from repro import AControl, AGreedy, ForkJoinGenerator, simulate_job
+
+    job = ForkJoinGenerator(quantum_length=1000).generate(
+        np.random.default_rng(0), transition_factor=20
+    )
+    abg = simulate_job(job, AControl(convergence_rate=0.2), availability=128)
+    agreedy = simulate_job(job, AGreedy(), availability=128)
+    assert abg.running_time < agreedy.running_time
+    assert abg.total_waste < agreedy.total_waste
+    assert len(list(abg)) == len(abg)

@@ -1,0 +1,120 @@
+"""Property-based cross-validation: the closed-form phased engine must match
+the step-accurate explicit engine quantum-for-quantum on every fork-join job.
+
+This is the load-bearing correctness argument for the fast engine used by all
+large benchmarks (see repro/engine/phased.py's module docstring for why the
+closed form holds)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.builders import fork_join_from_phases
+from repro.engine.explicit import ExplicitExecutor
+from repro.engine.phased import PhasedExecutor, PhasedJob
+
+phases_strategy = st.lists(
+    st.tuples(st.integers(1, 9), st.integers(1, 12)),
+    min_size=1,
+    max_size=5,
+)
+
+quanta_strategy = st.lists(
+    st.tuples(st.integers(1, 12), st.integers(1, 15)),  # (allotment, max_steps)
+    min_size=1,
+    max_size=30,
+)
+
+
+def run_both(phases, quanta):
+    """Run both engines over the same quantum schedule; pad the schedule by
+    cycling so both always finish."""
+    pe = PhasedExecutor(PhasedJob(phases))
+    ee = ExplicitExecutor(fork_join_from_phases(phases), "breadth-first")
+    results = []
+    i = 0
+    while not pe.finished:
+        a, s = quanta[i % len(quanta)]
+        i += 1
+        r1 = pe.execute_quantum(a, s)
+        r2 = ee.execute_quantum(a, s)
+        results.append((r1, r2))
+        assert i < 100_000, "runaway schedule"
+    return pe, ee, results
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(phases_strategy, quanta_strategy)
+    def test_quantum_for_quantum_agreement(self, phases, quanta):
+        pe, ee, results = run_both(phases, quanta)
+        for r1, r2 in results:
+            assert r1.work == r2.work
+            assert r1.steps == r2.steps
+            assert r1.finished == r2.finished
+            assert r1.span == pytest.approx(r2.span, abs=1e-9)
+        assert ee.finished
+
+    @settings(max_examples=60, deadline=None)
+    @given(phases_strategy, st.integers(1, 12))
+    def test_constant_allotment_agreement(self, phases, allotment):
+        pe = PhasedExecutor(PhasedJob(phases))
+        ee = ExplicitExecutor(fork_join_from_phases(phases), "breadth-first")
+        while not pe.finished:
+            r1 = pe.execute_quantum(allotment, 7)
+            r2 = ee.execute_quantum(allotment, 7)
+            assert (r1.work, r1.steps, r1.finished) == (r2.work, r2.steps, r2.finished)
+            assert r1.span == pytest.approx(r2.span, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(phases_strategy)
+    def test_single_processor_takes_work_steps(self, phases):
+        pe = PhasedExecutor(PhasedJob(phases))
+        r = pe.execute_quantum(1, 10_000)
+        assert r.finished
+        assert r.steps == PhasedJob(phases).work
+
+    @settings(max_examples=60, deadline=None)
+    @given(phases_strategy, st.integers(1, 12))
+    def test_graham_bound(self, phases, allotment):
+        """Greedy two-optimality: T <= T1/a + Tinf for constant allotment."""
+        job = PhasedJob(phases)
+        pe = PhasedExecutor(job)
+        r = pe.execute_quantum(allotment, 10_000)
+        assert r.finished
+        assert r.steps <= job.work / allotment + job.span
+
+    @settings(max_examples=60, deadline=None)
+    @given(phases_strategy, quanta_strategy)
+    def test_conservation_laws(self, phases, quanta):
+        job = PhasedJob(phases)
+        pe = PhasedExecutor(job)
+        total_work, total_span, i = 0, 0.0, 0
+        while not pe.finished:
+            a, s = quanta[i % len(quanta)]
+            i += 1
+            r = pe.execute_quantum(a, s)
+            total_work += r.work
+            total_span += r.span
+            # per-quantum sanity (Section 5.1)
+            assert 0 <= r.work <= a * r.steps
+            assert 0 <= r.span <= r.steps + 1e-9
+            if not r.finished:
+                assert r.steps == s  # only the last quantum may stop early
+        assert total_work == job.work
+        assert total_span == pytest.approx(job.span)
+
+    @settings(max_examples=40, deadline=None)
+    @given(phases_strategy, st.integers(1, 12))
+    def test_work_efficiency_plus_span_efficiency(self, phases, allotment):
+        """Inequality (5): alpha(q) + beta(q) >= 1 on full quanta."""
+        job = PhasedJob(phases)
+        pe = PhasedExecutor(job)
+        while not pe.finished:
+            r = pe.execute_quantum(allotment, 6)
+            if r.steps == 6:  # full quantum
+                alpha = r.work / (allotment * r.steps)
+                beta = r.span / r.steps
+                assert alpha + beta >= 1.0 - 1e-9

@@ -1,0 +1,204 @@
+"""Unit tests for the step-accurate explicit-dag engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import builders
+from repro.engine.explicit import ExplicitExecutor
+
+
+class TestBasics:
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitExecutor(builders.chain(2), "random")  # type: ignore[arg-type]
+
+    def test_chain_runs_serially(self):
+        ex = ExplicitExecutor(builders.chain(5))
+        res = ex.execute_quantum(allotment=4, max_steps=10)
+        assert res.work == 5
+        assert res.steps == 5  # one task per step regardless of allotment
+        assert res.span == pytest.approx(5.0)
+        assert res.finished
+        assert ex.finished
+
+    def test_wide_level_parallel(self):
+        ex = ExplicitExecutor(builders.wide_level(8))
+        res = ex.execute_quantum(allotment=8, max_steps=10)
+        assert res.work == 8
+        assert res.steps == 1
+        assert res.span == pytest.approx(1.0)
+
+    def test_wide_level_deprived(self):
+        ex = ExplicitExecutor(builders.wide_level(8))
+        res = ex.execute_quantum(allotment=3, max_steps=10)
+        assert res.steps == 3  # ceil(8/3)
+        assert res.work == 8
+
+    def test_stops_at_max_steps(self):
+        ex = ExplicitExecutor(builders.chain(10))
+        res = ex.execute_quantum(allotment=1, max_steps=4)
+        assert res.work == 4
+        assert res.steps == 4
+        assert not res.finished
+        assert ex.remaining_work == 6
+
+    def test_resume_across_quanta(self):
+        ex = ExplicitExecutor(builders.chain(10))
+        ex.execute_quantum(1, 4)
+        res = ex.execute_quantum(1, 100)
+        assert res.work == 6
+        assert res.finished
+
+    def test_cannot_execute_finished_job(self):
+        ex = ExplicitExecutor(builders.chain(1))
+        ex.execute_quantum(1, 5)
+        with pytest.raises(RuntimeError):
+            ex.execute_quantum(1, 5)
+
+    def test_invalid_quantum_args(self):
+        ex = ExplicitExecutor(builders.chain(2))
+        with pytest.raises(ValueError):
+            ex.execute_quantum(0, 5)
+        with pytest.raises(ValueError):
+            ex.execute_quantum(1, 0)
+
+    def test_totals(self):
+        d = builders.diamond(4)
+        ex = ExplicitExecutor(d)
+        assert ex.total_work == d.work
+        assert ex.total_span == d.span
+        assert ex.remaining_work == d.work
+
+
+class TestMeasurement:
+    def test_figure2_exact_values(self):
+        """The paper's Figure 2: T1(q)=12, Tinf(q)=2.4, A(q)=5."""
+        ex = ExplicitExecutor(builders.figure2_fragment(), "breadth-first")
+        ex.execute_quantum(1, 1)  # one pre-completed task
+        res = ex.execute_quantum(4, 3)
+        assert res.work == 12
+        assert res.span == pytest.approx(2.4)
+        assert res.work / res.span == pytest.approx(5.0)
+
+    def test_fractional_span_partial_level(self):
+        ex = ExplicitExecutor(builders.wide_level(10))
+        res = ex.execute_quantum(4, 1)
+        assert res.work == 4
+        assert res.span == pytest.approx(0.4)
+
+    def test_span_fractions_sum_to_total_span(self):
+        d = builders.fork_join_from_phases([(1, 5), (4, 6), (1, 2)])
+        ex = ExplicitExecutor(d)
+        total = 0.0
+        while not ex.finished:
+            total += ex.execute_quantum(3, 7).span
+        assert total == pytest.approx(d.span)
+
+    def test_work_sums_to_total(self):
+        d = builders.fork_join_from_phases([(2, 3), (5, 4)])
+        ex = ExplicitExecutor(d)
+        total = 0
+        while not ex.finished:
+            total += ex.execute_quantum(3, 5).work
+        assert total == d.work
+
+
+def _level_completion_windows(dag, discipline, allotments):
+    """Drive single-step quanta and return (first, last) completion step per
+    level, via the cumulative completed_by_level counter."""
+    ex = ExplicitExecutor(dag, discipline)
+    prev = ex.completed_by_level()
+    first = [None] * dag.num_levels
+    last = [None] * dag.num_levels
+    step = 0
+    i = 0
+    while not ex.finished:
+        a = allotments[i % len(allotments)]
+        i += 1
+        ex.execute_quantum(a, 1)
+        step += 1
+        cur = ex.completed_by_level()
+        for lvl in range(dag.num_levels):
+            if cur[lvl] > prev[lvl]:
+                if first[lvl] is None:
+                    first[lvl] = step
+                last[lvl] = step
+        prev = cur
+    return first, last
+
+
+class TestBreadthFirstInvariant:
+    def test_level_ordering(self):
+        """Breadth-first: no task at level l completes later than any task
+        at level l+1 (Section 2): last(l) <= first(l+1)."""
+        d = builders.fork_join_from_phases([(3, 10), (1, 2), (5, 4)])
+        first, last = _level_completion_windows(d, "breadth-first", [2, 5, 1, 4, 3])
+        for lvl in range(d.num_levels - 1):
+            assert last[lvl] <= first[lvl + 1]
+
+    def test_lifo_violates_level_ordering(self):
+        """Depth-first greedy breaks the ordering on a dag with independent
+        chains of unequal depth — the contrast that motivates B-Greedy."""
+        # two chains from a common fork: LIFO plunges down the later chain
+        d = builders.fork_join_from_phases([(6, 8)])
+        first, last = _level_completion_windows(d, "lifo", [2])
+        violated = any(
+            last[lvl] > first[lvl + 1] for lvl in range(d.num_levels - 1)
+        )
+        assert violated
+
+    def test_breadth_first_span_within_steps(self):
+        """Tinf(q) <= steps for breadth-first execution (Section 5.1)."""
+        d = builders.fork_join_from_phases([(1, 4), (8, 5), (1, 3), (3, 6)])
+        ex = ExplicitExecutor(d, "breadth-first")
+        while not ex.finished:
+            res = ex.execute_quantum(4, 6)
+            assert res.span <= res.steps + 1e-9
+
+
+class TestDisciplines:
+    def test_fifo_work_conservation(self):
+        d = builders.fork_join_from_phases([(1, 3), (6, 4)])
+        ex = ExplicitExecutor(d, "fifo")
+        total = 0
+        while not ex.finished:
+            total += ex.execute_quantum(4, 5).work
+        assert total == d.work
+
+    def test_lifo_work_conservation(self):
+        d = builders.fork_join_from_phases([(1, 3), (6, 4)])
+        ex = ExplicitExecutor(d, "lifo")
+        total = 0
+        while not ex.finished:
+            total += ex.execute_quantum(4, 5).work
+        assert total == d.work
+
+    def test_all_disciplines_same_serial_time(self):
+        # with allotment 1 every greedy discipline takes exactly T1 steps
+        d = builders.fork_join_from_phases([(2, 5), (3, 4)])
+        for disc in ("breadth-first", "fifo", "lifo"):
+            ex = ExplicitExecutor(d, disc)
+            res = ex.execute_quantum(1, 10_000)
+            assert res.steps == d.work
+
+    def test_greedy_bound_all_disciplines(self):
+        """Graham bound: T <= T1/a + Tinf for any greedy discipline."""
+        d = builders.fork_join_from_phases([(1, 5), (7, 6), (1, 2), (4, 8)])
+        for disc in ("breadth-first", "fifo", "lifo"):
+            for a in (1, 2, 5, 9):
+                ex = ExplicitExecutor(d, disc)
+                res = ex.execute_quantum(a, 10_000)
+                assert res.finished
+                assert res.steps <= d.work / a + d.span
+
+
+class TestCurrentParallelism:
+    def test_ready_count(self):
+        ex = ExplicitExecutor(builders.wide_level(7))
+        assert ex.current_parallelism == 7.0
+
+    def test_zero_when_finished(self):
+        ex = ExplicitExecutor(builders.chain(1))
+        ex.execute_quantum(1, 2)
+        assert ex.current_parallelism == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for A-Control (ABG's feedback law)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.abg import AControl
+
+from conftest import make_record
+
+
+class TestConstruction:
+    def test_default_rate(self):
+        assert AControl().convergence_rate == 0.2
+
+    def test_rate_bounds(self):
+        AControl(0.0)
+        AControl(0.999)
+        with pytest.raises(ValueError):
+            AControl(1.0)
+        with pytest.raises(ValueError):
+            AControl(-0.1)
+
+    def test_name_contains_rate(self):
+        assert "0.3" in AControl(0.3).name
+
+
+class TestGain:
+    def test_theorem1_gain(self):
+        assert AControl(0.2).gain(10.0) == pytest.approx(8.0)
+
+    def test_zero_rate_full_gain(self):
+        assert AControl(0.0).gain(7.0) == pytest.approx(7.0)
+
+
+class TestRequestLaw:
+    def test_first_request_is_one(self):
+        assert AControl().first_request() == 1.0
+
+    def test_equation3(self):
+        """d(q) = r*d(q-1) + (1-r)*A(q-1)."""
+        policy = AControl(0.2)
+        prev = make_record(request=4.0, work=4000, span=400.0)  # A = 10
+        assert policy.next_request(prev) == pytest.approx(0.2 * 4.0 + 0.8 * 10.0)
+
+    def test_zero_rate_one_step_convergence(self):
+        """r = 0: d(q) = A(q-1)."""
+        policy = AControl(0.0)
+        prev = make_record(request=3.0, work=3000, span=250.0)  # A = 12
+        assert policy.next_request(prev) == pytest.approx(12.0)
+
+    def test_empty_quantum_holds_request(self):
+        policy = AControl(0.2)
+        prev = make_record(request=6.0, request_int=6, allotment=6, work=0, span=0.0, steps=0)
+        assert policy.next_request(prev) == 6.0
+
+    def test_request_between_previous_and_parallelism(self):
+        """The new request is a convex combination of d and A."""
+        policy = AControl(0.5)
+        prev = make_record(request=2.0, work=2000, span=100.0)  # A = 20
+        nxt = policy.next_request(prev)
+        assert 2.0 < nxt < 20.0
+        assert nxt == pytest.approx(11.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_convex_combination_property(self, r, d, a):
+        policy = AControl(r)
+        prev = make_record(
+            request=d,
+            request_int=1000,
+            allotment=1000,
+            available=1000,
+            work=int(a * 100),
+            span=100.0,
+            steps=1000,
+        )
+        nxt = policy.next_request(prev)
+        lo, hi = min(d, prev.avg_parallelism), max(d, prev.avg_parallelism)
+        assert lo - 1e-9 <= nxt <= hi + 1e-9
+
+    def test_fixed_point_at_parallelism(self):
+        """Once d == A the request never moves (zero steady-state error)."""
+        policy = AControl(0.3)
+        prev = make_record(request=10.0, work=10000, span=1000.0, allotment=10)
+        assert policy.next_request(prev) == pytest.approx(10.0)
+
+    def test_geometric_convergence(self):
+        """Error shrinks by exactly r each quantum for constant A."""
+        import math
+
+        policy = AControl(0.25)
+        a_target = 16.0
+        d = 1.0
+        errors = []
+        for q in range(1, 8):
+            errors.append(abs(d - a_target))
+            a_int = max(1, math.ceil(d - 1e-9))
+            work = a_int * 1000  # fully-utilized quantum
+            prev = make_record(
+                request=d,
+                request_int=a_int,
+                allotment=a_int,
+                work=work,
+                span=work / a_target,  # measured parallelism exactly 16
+            )
+            d = policy.next_request(prev)
+        for e1, e2 in zip(errors, errors[1:]):
+            assert e2 == pytest.approx(0.25 * e1)
+
+    def test_repr(self):
+        assert "0.2" in repr(AControl(0.2))

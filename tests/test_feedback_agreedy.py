@@ -1,0 +1,111 @@
+"""Unit tests for the A-Greedy baseline feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreedy import AGreedy
+
+from conftest import make_record
+
+
+def record(d, a, work, *, steps=1000):
+    return make_record(
+        request=float(d),
+        request_int=int(d),
+        allotment=a,
+        work=work,
+        span=min(float(steps), float(work)) if work else 0.0,
+        steps=steps,
+    )
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = AGreedy()
+        assert p.responsiveness == 2.0
+        assert p.utilization_threshold == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AGreedy(responsiveness=1.0)
+        with pytest.raises(ValueError):
+            AGreedy(utilization_threshold=0.0)
+        with pytest.raises(ValueError):
+            AGreedy(utilization_threshold=1.5)
+
+
+class TestClassification:
+    def test_inefficient(self):
+        p = AGreedy()
+        # used 50% of 8*1000 cycles -> inefficient
+        rec = record(8, 8, 4000)
+        assert p.classify(rec) == "inefficient"
+
+    def test_efficient_satisfied(self):
+        p = AGreedy()
+        rec = record(8, 8, 8000)
+        assert p.classify(rec) == "efficient-satisfied"
+
+    def test_efficient_deprived(self):
+        p = AGreedy()
+        rec = record(8, 4, 4000)  # full use of the 4 granted
+        assert p.classify(rec) == "efficient-deprived"
+
+    def test_threshold_boundary_is_efficient(self):
+        p = AGreedy(utilization_threshold=0.8)
+        rec = record(10, 10, 8000)  # exactly 80%
+        assert p.classify(rec) == "efficient-satisfied"
+
+
+class TestRequestRules:
+    def test_first_request(self):
+        assert AGreedy().first_request() == 1.0
+
+    def test_inefficient_halves(self):
+        p = AGreedy()
+        assert p.next_request(record(8, 8, 4000)) == pytest.approx(4.0)
+
+    def test_efficient_satisfied_doubles(self):
+        p = AGreedy()
+        assert p.next_request(record(8, 8, 8000)) == pytest.approx(16.0)
+
+    def test_efficient_deprived_holds(self):
+        p = AGreedy()
+        assert p.next_request(record(8, 4, 4000)) == pytest.approx(8.0)
+
+    def test_floor_at_one(self):
+        p = AGreedy()
+        assert p.next_request(record(1, 1, 100)) == 1.0
+
+    def test_custom_responsiveness(self):
+        p = AGreedy(responsiveness=3.0)
+        assert p.next_request(record(9, 9, 9000)) == pytest.approx(27.0)
+        assert p.next_request(record(9, 9, 1000)) == pytest.approx(3.0)
+
+
+class TestOscillation:
+    def test_never_settles_on_constant_parallelism(self):
+        """The instability of Figures 1/4(b): with constant parallelism A=10
+        the request cycles 8 <-> 16 forever once it reaches the band."""
+        p = AGreedy()
+        d = 1.0
+        seen = []
+        for _ in range(20):
+            a = int(d)
+            work = min(a, 10) * 1000  # job exposes at most 10-way parallelism
+            rec = record(a, a, work)
+            d = p.next_request(rec)
+            seen.append(d)
+        tail = seen[-8:]
+        assert set(tail) == {8.0, 16.0}
+
+    def test_geometric_rampup(self):
+        p = AGreedy()
+        d = 1.0
+        ramp = [d]
+        for _ in range(4):
+            rec = record(int(d), int(d), int(d) * 1000)
+            d = p.next_request(rec)
+            ramp.append(d)
+        assert ramp == [1.0, 2.0, 4.0, 8.0, 16.0]

@@ -1,0 +1,87 @@
+"""Unit tests for the reference feedback policies and quantum-length
+policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantum_policy import AdaptiveQuantumLength, FixedQuantumLength
+from repro.core.reference import FixedRequest, OracleFeedback
+
+from conftest import make_record
+
+
+class TestFixedRequest:
+    def test_constant(self):
+        p = FixedRequest(7)
+        assert p.first_request() == 7.0
+        assert p.next_request(make_record()) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRequest(0)
+
+    def test_name(self):
+        assert "7" in FixedRequest(7).name
+
+
+class TestOracleFeedback:
+    def test_requests_source_value(self):
+        p = OracleFeedback(lambda: 12.0)
+        assert p.first_request() == 12.0
+        assert p.next_request(make_record()) == 12.0
+
+    def test_tracks_changing_source(self):
+        values = iter([3.0, 9.0])
+        p = OracleFeedback(lambda: next(values))
+        assert p.first_request() == 3.0
+        assert p.next_request(make_record()) == 9.0
+
+    def test_floors_at_one(self):
+        p = OracleFeedback(lambda: 0.0)
+        assert p.first_request() == 1.0
+
+
+class TestFixedQuantumLength:
+    def test_constant(self):
+        p = FixedQuantumLength(500)
+        assert p.next_length(None) == 500
+        assert p.next_length(make_record()) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedQuantumLength(0)
+
+
+class TestAdaptiveQuantumLength:
+    def test_starts_at_initial(self):
+        p = AdaptiveQuantumLength(1000, min_length=250, max_length=4000)
+        assert p.next_length(None) == 1000
+
+    def test_doubles_when_stable(self):
+        p = AdaptiveQuantumLength(1000, min_length=250, max_length=4000)
+        p.next_length(None)
+        stable = make_record(request=4.0, work=4000, span=1000.0)  # A = 4 = d
+        assert p.next_length(stable) == 2000
+        assert p.next_length(stable) == 4000
+        assert p.next_length(stable) == 4000  # capped
+
+    def test_resets_on_transition(self):
+        p = AdaptiveQuantumLength(1000, min_length=250, max_length=4000)
+        p.next_length(None)
+        # measured parallelism far from the request => reset to min
+        shifted = make_record(request=4.0, work=4000, span=125.0)  # A = 32
+        assert p.next_length(shifted) == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveQuantumLength(100, min_length=200, max_length=400)
+        with pytest.raises(ValueError):
+            AdaptiveQuantumLength(1000, stable_ratio=0.9)
+
+    def test_restart_after_none(self):
+        p = AdaptiveQuantumLength(1000, min_length=250, max_length=4000)
+        p.next_length(None)
+        stable = make_record(request=4.0, work=4000, span=1000.0)
+        p.next_length(stable)
+        assert p.next_length(None) == 1000  # a new job resets the state

@@ -1,0 +1,106 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+These runs use the same drivers as the full benchmarks but with fewer
+jobs/sets; the *direction* and rough magnitude of every claim must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.trim import classify_quanta
+from repro.core.abg import AControl
+from repro.core.agreedy import AGreedy
+from repro.experiments import run_fig5, run_fig6
+from repro.sim.single import simulate_job
+from repro.workloads.forkjoin import ForkJoinGenerator
+
+pytestmark = pytest.mark.slow
+
+
+class TestFigure5Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(
+            factors=tuple(range(2, 101, 7)), jobs_per_factor=8, seed=1234
+        )
+
+    def test_abg_roughly_20pct_faster(self, result):
+        """Paper: 'an average 20% improvement in running time'."""
+        assert 0.08 <= result.mean_time_improvement <= 0.35
+
+    def test_abg_roughly_half_the_waste(self, result):
+        """Paper: 'an average 50% reduction in wasted processor cycles'."""
+        assert 0.30 <= result.mean_waste_reduction <= 0.70
+
+    def test_abg_flat_in_transition_factor(self, result):
+        """Paper: 'increasing the value of transition factor does not seem to
+        have much effect on ABG'."""
+        norms = [p.abg_time_norm for p in result.points if p.transition_factor >= 10]
+        assert max(norms) - min(norms) < 0.35
+
+    def test_agreedy_worse_at_high_factors(self, result):
+        """A-Greedy's time degrades relative to ABG as the factor grows."""
+        low = [p.time_ratio for p in result.points if p.transition_factor <= 10]
+        high = [p.time_ratio for p in result.points if p.transition_factor >= 60]
+        assert np.mean(high) > np.mean(low)
+
+    def test_abg_never_slower_on_average(self, result):
+        for p in result.points:
+            assert p.time_ratio > 0.95
+
+
+class TestFigure6Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(num_sets=40, load_range=(0.2, 6.0), seed=99)
+
+    def test_light_load_advantage(self, result):
+        """Paper: ABG wins by 10-15% on average under light load; we accept a
+        broad band around it at this reduced scale."""
+        makespan_ratio, response_ratio = result.light_load_ratios(cutoff=1.5)
+        assert 1.03 <= makespan_ratio <= 1.40
+        assert 1.03 <= response_ratio <= 1.40
+
+    def test_heavy_load_convergence(self, result):
+        """Paper: under heavy load the schedulers are comparable."""
+        makespan_ratio, response_ratio = result.heavy_load_ratios(cutoff=4.0)
+        assert makespan_ratio == pytest.approx(1.0, abs=0.06)
+        assert response_ratio == pytest.approx(1.0, abs=0.06)
+
+    def test_advantage_shrinks_with_load(self, result):
+        light_m, _ = result.light_load_ratios(cutoff=1.5)
+        heavy_m, _ = result.heavy_load_ratios(cutoff=4.0)
+        assert light_m > heavy_m
+
+
+class TestPerJobDominance:
+    def test_abg_dominates_agreedy_per_job(self):
+        """On the unconstrained single-job workload ABG should win (or tie)
+        on waste for nearly every job, not just on average."""
+        rng = np.random.default_rng(77)
+        gen = ForkJoinGenerator(1000)
+        wins = 0
+        total = 0
+        for c in (5, 20, 50, 90):
+            for _ in range(5):
+                job = gen.generate(rng, c)
+                abg = simulate_job(job, AControl(0.2), 128, quantum_length=1000)
+                ag = simulate_job(job, AGreedy(), 128, quantum_length=1000)
+                total += 1
+                if abg.total_waste <= ag.total_waste:
+                    wins += 1
+        assert wins / total >= 0.9
+
+
+class TestUnconstrainedRunsAreDeductible:
+    def test_no_accounted_quanta_when_satisfied(self):
+        """With every request granted there is no deprivation, so trim
+        analysis classifies every full quantum deductible."""
+        rng = np.random.default_rng(3)
+        job = ForkJoinGenerator(1000).generate(rng, 10)
+        trace = simulate_job(job, AControl(0.2), 128, quantum_length=1000)
+        classes = classify_quanta(trace)
+        assert classes.counts[0] == 0
+        assert classes.counts[1] == len(trace.full_quanta)

@@ -1,0 +1,71 @@
+"""Unit tests for the A-Greedy limit-cycle analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.limit_cycle import agreedy_limit_cycle, iterate_agreedy_requests
+from repro.core.agreedy import AGreedy
+from repro.sim.single import simulate_job
+from repro.workloads.forkjoin import constant_parallelism_job
+
+
+class TestIterateMap:
+    def test_classic_sequence(self):
+        seq = iterate_agreedy_requests(10.0, 9)
+        assert seq == [1, 2, 4, 8, 16, 8, 16, 8, 16]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iterate_agreedy_requests(0.5, 5)
+        with pytest.raises(ValueError):
+            iterate_agreedy_requests(10.0, 0)
+
+
+class TestClosedFormOrbit:
+    def test_classic_orbit(self):
+        cyc = agreedy_limit_cycle(10.0)
+        assert cyc.low == 8.0 and cyc.high == 16.0
+        assert cyc.onset_quantum == 5
+        assert cyc.amplitude == 8.0
+        assert cyc.steady_state_gap(10.0) == 6.0
+
+    def test_orbit_brackets_parallelism(self):
+        for a in (3.0, 10.0, 33.0, 100.0):
+            cyc = agreedy_limit_cycle(a)
+            assert cyc.low <= a / 0.8 + 1e-9
+            assert cyc.high > a / 0.8
+
+    def test_matches_iterated_map(self):
+        for a in (2.0, 5.0, 10.0, 25.0, 64.0, 99.0):
+            cyc = agreedy_limit_cycle(a)
+            seq = iterate_agreedy_requests(a, cyc.onset_quantum + 10)
+            tail = seq[cyc.onset_quantum - 1 :]
+            assert set(tail) == {cyc.low, cyc.high}
+            assert seq[cyc.onset_quantum - 1] == cyc.high
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    def test_orbit_is_period_two(self, a):
+        cyc = agreedy_limit_cycle(a)
+        seq = iterate_agreedy_requests(a, cyc.onset_quantum + 6)
+        tail = seq[cyc.onset_quantum - 1 :]
+        assert tail == [cyc.high, cyc.low] * (len(tail) // 2) + (
+            [cyc.high] if len(tail) % 2 else []
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            agreedy_limit_cycle(0.5)
+
+
+class TestAgainstFullSimulation:
+    def test_simulated_trace_enters_predicted_orbit(self):
+        a = 10
+        cyc = agreedy_limit_cycle(float(a))
+        job = constant_parallelism_job(a, 16_000)
+        trace = simulate_job(job, AGreedy(), 128, quantum_length=1000)
+        reqs = trace.request_series()[cyc.onset_quantum - 1 : cyc.onset_quantum + 7]
+        assert set(reqs) == {cyc.low, cyc.high}

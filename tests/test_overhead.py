@@ -1,0 +1,133 @@
+"""Unit/integration tests for the reallocation-overhead extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.abg import AControl
+from repro.core.overhead import NO_OVERHEAD, ReallocationOverhead
+from repro.core.reference import FixedRequest
+from repro.engine.phased import PhasedExecutor, PhasedJob
+from repro.experiments import run_overhead_study
+from repro.sim.jobs import JobSpec
+from repro.sim.multi import simulate_job_set
+from repro.sim.single import run_quantum_with_overhead, simulate_job
+from repro.allocators.equipartition import DynamicEquiPartitioning
+
+
+class TestReallocationOverhead:
+    def test_no_cost_when_allotment_stable(self):
+        oh = ReallocationOverhead(per_processor=5.0, fixed=10)
+        assert oh.cost(4, 4, 1000) == 0
+
+    def test_first_quantum_free(self):
+        oh = ReallocationOverhead(per_processor=5.0, fixed=10)
+        assert oh.cost(None, 8, 1000) == 0
+
+    def test_linear_in_delta(self):
+        oh = ReallocationOverhead(per_processor=3.0)
+        assert oh.cost(4, 10, 1000) == 18
+        assert oh.cost(10, 4, 1000) == 18  # shrinking also migrates
+
+    def test_fixed_component(self):
+        oh = ReallocationOverhead(fixed=7)
+        assert oh.cost(4, 5, 1000) == 7
+
+    def test_capped_at_quantum_length(self):
+        oh = ReallocationOverhead(per_processor=1000.0)
+        assert oh.cost(1, 100, 50) == 50
+
+    def test_is_free(self):
+        assert NO_OVERHEAD.is_free
+        assert not ReallocationOverhead(fixed=1).is_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReallocationOverhead(per_processor=-1.0)
+        with pytest.raises(ValueError):
+            ReallocationOverhead(fixed=-1)
+
+
+class TestRunQuantumWithOverhead:
+    def test_overhead_consumes_steps(self):
+        ex = PhasedExecutor(PhasedJob([(4, 100)]))
+        oh = ReallocationOverhead(fixed=10)
+        res = run_quantum_with_overhead(ex, 4, 50, prev_allotment=2, overhead=oh)
+        assert res.steps == 50
+        assert res.work == 4 * 40  # only 40 execution steps
+
+    def test_full_quantum_lost(self):
+        ex = PhasedExecutor(PhasedJob([(4, 100)]))
+        oh = ReallocationOverhead(fixed=999)
+        res = run_quantum_with_overhead(ex, 4, 50, prev_allotment=2, overhead=oh)
+        assert res.work == 0 and res.span == 0.0
+        assert res.steps == 50
+        assert not res.finished
+
+    def test_free_model_is_transparent(self):
+        job = PhasedJob([(4, 100)])
+        ex1, ex2 = PhasedExecutor(job), PhasedExecutor(job)
+        r1 = run_quantum_with_overhead(ex1, 4, 50, 2, NO_OVERHEAD)
+        r2 = ex2.execute_quantum(4, 50)
+        assert (r1.work, r1.span, r1.steps) == (r2.work, r2.span, r2.steps)
+
+
+class TestSimulationWithOverhead:
+    def test_zero_overhead_matches_default(self):
+        job = PhasedJob([(1, 60), (6, 80)])
+        t1 = simulate_job(job, AControl(0.2), 32, quantum_length=25)
+        t2 = simulate_job(
+            job, AControl(0.2), 32, quantum_length=25, overhead=NO_OVERHEAD
+        )
+        assert t1.request_series() == t2.request_series()
+        assert t1.running_time == t2.running_time
+
+    def test_overhead_slows_down_and_terminates(self):
+        job = PhasedJob([(1, 60), (6, 80), (1, 40)])
+        base = simulate_job(job, AControl(0.2), 32, quantum_length=25)
+        slow = simulate_job(
+            job, AControl(0.2), 32, quantum_length=25,
+            overhead=ReallocationOverhead(per_processor=4.0),
+        )
+        assert slow.running_time > base.running_time
+        assert slow.total_work == job.work
+
+    def test_stable_policy_pays_nothing(self):
+        job = PhasedJob([(4, 200)])
+        oh = ReallocationOverhead(per_processor=10.0, fixed=10)
+        base = simulate_job(job, FixedRequest(4), 32, quantum_length=25)
+        priced = simulate_job(
+            job, FixedRequest(4), 32, quantum_length=25, overhead=oh
+        )
+        # the allotment never changes after the (free) first quantum
+        assert priced.running_time == base.running_time
+
+    def test_multi_sim_with_overhead(self):
+        jobs = [PhasedJob([(1, 40), (5, 60)]), PhasedJob([(3, 80)])]
+        specs = [JobSpec(job=j, feedback=AControl(0.2)) for j in jobs]
+        base = simulate_job_set(
+            specs, DynamicEquiPartitioning(), 16, quantum_length=25
+        )
+        priced = simulate_job_set(
+            specs, DynamicEquiPartitioning(), 16, quantum_length=25,
+            overhead=ReallocationOverhead(per_processor=5.0),
+        )
+        assert priced.makespan >= base.makespan
+        assert priced.total_work == base.total_work
+
+    def test_extreme_overhead_still_terminates(self):
+        job = PhasedJob([(1, 50), (8, 50)])
+        trace = simulate_job(
+            job, AControl(0.0), 32, quantum_length=20,
+            overhead=ReallocationOverhead(per_processor=100.0),
+        )
+        assert trace.total_work == job.work
+
+
+class TestOverheadStudy:
+    def test_ratio_widens_with_cost(self):
+        rows = run_overhead_study(
+            costs=(0.0, 20.0), factors=(20,), jobs_per_factor=3, seed=9
+        )
+        assert rows[1].time_ratio > rows[0].time_ratio
+        assert rows[1].agreedy_reallocations >= rows[0].agreedy_reallocations

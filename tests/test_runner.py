@@ -1,0 +1,60 @@
+"""Tests for the batch experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import SCALES, run_everything
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        return run_everything(out, scale="smoke"), out
+
+    def test_all_experiments_ran(self, result):
+        runner_result, _ = result
+        names = [o.name for o in runner_result.outcomes]
+        assert "fig2" in names and "fig5" in names and "fig6" in names
+        assert "controllers" in names and "stealing" in names
+        assert len(names) == len(set(names)) >= 17
+
+    def test_artifacts_written_and_parseable(self, result):
+        runner_result, out = result
+        for outcome in runner_result.outcomes:
+            data = json.loads((out / f"{outcome.name}.json").read_text())
+            assert isinstance(data, list)
+            assert len(data) == outcome.rows
+            assert outcome.rows >= 1
+
+    def test_report_written(self, result):
+        runner_result, out = result
+        report = (out / "REPORT.md").read_text()
+        assert runner_result.report_path == out / "REPORT.md"
+        assert "## fig5" in report
+        assert "## bounds" in report
+        assert "scale: smoke" in report
+
+    def test_total_time_positive(self, result):
+        runner_result, _ = result
+        assert runner_result.total_seconds > 0
+
+    def test_unknown_scale_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_everything(tmp_path, scale="galactic")
+
+    def test_scales_constant(self):
+        assert SCALES == ("smoke", "reduced", "full")
+
+
+class TestRunnerCli:
+    def test_cli_all_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["all", "--out", str(tmp_path), "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "ran 17 experiments" in out
+        assert (tmp_path / "REPORT.md").exists()

@@ -1,0 +1,168 @@
+"""Unit/integration tests for the multiprogrammed simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators.equipartition import DynamicEquiPartitioning
+from repro.allocators.roundrobin import RoundRobinAllocator
+from repro.core.abg import AControl
+from repro.core.agreedy import AGreedy
+from repro.core.reference import FixedRequest
+from repro.engine.phased import PhasedExecutor, PhasedJob
+from repro.sim.jobs import JobSpec, make_executor
+from repro.sim.multi import simulate_job_set
+
+
+def specs_of(jobs, policy=None, releases=None):
+    policy = policy or AControl(0.2)
+    releases = releases or [0] * len(jobs)
+    return [JobSpec(job=j, feedback=policy, release_time=r) for j, r in zip(jobs, releases)]
+
+
+class TestJobSpec:
+    def test_executor_rejected(self):
+        ex = PhasedExecutor(PhasedJob([(1, 1)]))
+        with pytest.raises(TypeError):
+            JobSpec(job=ex, feedback=AControl())
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(job=PhasedJob([(1, 1)]), feedback=AControl(), release_time=-1)
+
+    def test_make_executor_dispatch(self):
+        assert isinstance(make_executor(PhasedJob([(1, 1)])), PhasedExecutor)
+        with pytest.raises(TypeError):
+            make_executor("not a job")  # type: ignore[arg-type]
+
+
+class TestBatchedSets:
+    def test_all_jobs_complete(self):
+        jobs = [PhasedJob([(1, 30), (4, 40)]), PhasedJob([(2, 60)]), PhasedJob([(8, 20)])]
+        result = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 32, quantum_length=25)
+        assert set(result.traces) == {0, 1, 2}
+        for i, job in enumerate(jobs):
+            assert result.traces[i].total_work == job.work
+
+    def test_makespan_at_least_each_response(self):
+        jobs = [PhasedJob([(2, 100)]), PhasedJob([(4, 50)])]
+        result = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 16, quantum_length=20)
+        for trace in result.traces.values():
+            assert result.makespan >= trace.completion_time
+
+    def test_mean_response_time(self):
+        jobs = [PhasedJob([(1, 10)]), PhasedJob([(1, 10)])]
+        result = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 8, quantum_length=20)
+        # both finish in their first quantum (10 steps)
+        assert result.mean_response_time == pytest.approx(10.0)
+
+    def test_total_work_aggregates(self):
+        jobs = [PhasedJob([(2, 10)]), PhasedJob([(3, 10)])]
+        result = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 8, quantum_length=20)
+        assert result.total_work == 20 + 30
+
+    def test_single_job_set_matches_single_sim(self):
+        """One batched job under DEQ behaves like the single-job simulator
+        with constant availability P."""
+        from repro.sim.single import simulate_job
+
+        job = PhasedJob([(1, 40), (6, 60), (1, 20)])
+        multi = simulate_job_set(specs_of([job]), DynamicEquiPartitioning(), 16, quantum_length=25)
+        single = simulate_job(job, AControl(0.2), 16, quantum_length=25)
+        assert multi.traces[0].request_series() == single.request_series()
+        assert multi.traces[0].running_time == single.running_time
+
+
+class TestReleases:
+    def test_late_job_joins_at_boundary(self):
+        jobs = [PhasedJob([(1, 100)]), PhasedJob([(1, 10)])]
+        result = simulate_job_set(
+            specs_of(jobs, releases=[0, 30]),
+            DynamicEquiPartitioning(),
+            8,
+            quantum_length=25,
+        )
+        # released at 30 -> joins at boundary 50
+        late = result.traces[1]
+        assert late.records[0].start_step == 50
+        assert late.release_time == 30
+        assert late.response_time == (50 + 10) - 30
+
+    def test_gap_before_any_release(self):
+        jobs = [PhasedJob([(1, 10)])]
+        result = simulate_job_set(
+            specs_of(jobs, releases=[120]),
+            DynamicEquiPartitioning(),
+            8,
+            quantum_length=50,
+        )
+        trace = result.traces[0]
+        assert trace.records[0].start_step == 150  # next boundary after 120
+        assert trace.response_time == 150 + 10 - 120
+
+    def test_release_at_boundary_joins_immediately(self):
+        jobs = [PhasedJob([(1, 10)])]
+        result = simulate_job_set(
+            specs_of(jobs, releases=[50]),
+            DynamicEquiPartitioning(),
+            8,
+            quantum_length=50,
+        )
+        assert result.traces[0].records[0].start_step == 50
+
+
+class TestSharing:
+    def test_processors_shared_under_contention(self):
+        # two identical wide jobs on a machine only big enough for one
+        jobs = [PhasedJob([(8, 200)]), PhasedJob([(8, 200)])]
+        result = simulate_job_set(specs_of(jobs, policy=FixedRequest(8)),
+                                  DynamicEquiPartitioning(), 8, quantum_length=50)
+        # each gets 4 of the 8: both take 400 steps
+        for trace in result.traces.values():
+            assert trace.running_time == 400
+            assert all(rec.allotment == 4 for rec in trace)
+
+    def test_declined_processors_flow_to_big_job(self):
+        """Non-reservation: once the serial job's adaptive request drops to
+        1, DEQ hands the wide job more than the equal share of 8."""
+        jobs = [PhasedJob([(1, 400)]), PhasedJob([(14, 400)])]
+        result = simulate_job_set(specs_of(jobs, policy=AControl(0.0)),
+                                  DynamicEquiPartitioning(), 16, quantum_length=50)
+        serial = result.traces[0]
+        wide = result.traces[1]
+        assert any(rec.allotment == 1 for rec in serial.records[1:])
+        assert any(rec.allotment > 8 for rec in wide.records)
+
+    def test_duplicate_ids_rejected(self):
+        spec = JobSpec(job=PhasedJob([(1, 1)]), feedback=AControl(), job_id=3)
+        with pytest.raises(ValueError):
+            simulate_job_set([spec, spec], DynamicEquiPartitioning(), 8)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_job_set([], DynamicEquiPartitioning(), 8)
+
+    def test_too_many_jobs_rejected(self):
+        jobs = [PhasedJob([(1, 1)]) for _ in range(5)]
+        with pytest.raises(ValueError):
+            simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 2, quantum_length=10)
+
+
+class TestAllocatorsInContext:
+    def test_roundrobin_runs(self):
+        jobs = [PhasedJob([(2, 40)]), PhasedJob([(4, 40)])]
+        result = simulate_job_set(specs_of(jobs), RoundRobinAllocator(), 16, quantum_length=20)
+        assert len(result.traces) == 2
+
+    def test_agreedy_policy_in_multi(self):
+        jobs = [PhasedJob([(1, 50), (6, 50)]) for _ in range(3)]
+        result = simulate_job_set(specs_of(jobs, policy=AGreedy()),
+                                  DynamicEquiPartitioning(), 32, quantum_length=25)
+        assert len(result.traces) == 3
+
+    def test_determinism(self):
+        jobs = [PhasedJob([(1, 30), (5, 40)]), PhasedJob([(3, 60)])]
+        r1 = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 16, quantum_length=20)
+        r2 = simulate_job_set(specs_of(jobs), DynamicEquiPartitioning(), 16, quantum_length=20)
+        assert r1.makespan == r2.makespan
+        assert r1.mean_response_time == r2.mean_response_time

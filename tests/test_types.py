@@ -1,0 +1,276 @@
+"""Unit tests for repro.core.types: records, traces, derived quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    JobTrace,
+    QuantumRecord,
+    integer_request,
+    transition_factor_of_series,
+)
+
+from conftest import make_record
+
+
+# ---------------------------------------------------------------------------
+# integer_request
+# ---------------------------------------------------------------------------
+
+
+class TestIntegerRequest:
+    def test_exact_integer_stays(self):
+        assert integer_request(5.0) == 5
+
+    def test_fraction_rounds_up(self):
+        assert integer_request(4.2) == 5
+
+    def test_minimum_is_one(self):
+        assert integer_request(0.0) == 1
+        assert integer_request(0.3) == 1
+
+    def test_float_noise_above_integer_is_absorbed(self):
+        assert integer_request(5.0 + 1e-12) == 5
+
+    def test_genuine_excess_rounds_up(self):
+        assert integer_request(5.001) == 6
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            integer_request(float("nan"))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            integer_request(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_always_at_least_one_and_covers_request(self, d):
+        n = integer_request(d)
+        assert n >= 1
+        assert n >= d - 1e-6  # the integer request covers the real target
+        assert n <= max(1, math.ceil(d))
+
+
+# ---------------------------------------------------------------------------
+# QuantumRecord
+# ---------------------------------------------------------------------------
+
+
+class TestQuantumRecordValidation:
+    def test_valid_record_constructs(self):
+        rec = make_record()
+        assert rec.index == 1
+
+    def test_index_must_start_at_one(self):
+        with pytest.raises(ValueError):
+            make_record(index=0)
+
+    def test_allotment_cannot_exceed_availability(self):
+        with pytest.raises(ValueError):
+            make_record(available=2, allotment=3, request=5.0, work=0, span=0, steps=0)
+
+    def test_allocator_is_conservative(self):
+        with pytest.raises(ValueError):
+            make_record(request=2.0, request_int=2, allotment=3, work=0, span=0, steps=0)
+
+    def test_steps_cannot_exceed_quantum_length(self):
+        with pytest.raises(ValueError):
+            make_record(steps=1001, quantum_length=1000)
+
+    def test_work_cannot_exceed_capacity(self):
+        with pytest.raises(ValueError):
+            make_record(work=5000, allotment=4, steps=1000)
+
+    def test_span_cannot_exceed_work(self):
+        with pytest.raises(ValueError):
+            make_record(work=10, span=11.0, steps=1000)
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(span=-0.5)
+
+
+class TestQuantumRecordDerived:
+    def test_avg_parallelism(self):
+        rec = make_record(work=1200, span=240.0)
+        assert rec.avg_parallelism == pytest.approx(5.0)
+
+    def test_avg_parallelism_empty_quantum(self):
+        rec = make_record(work=0, span=0.0, steps=0)
+        assert rec.avg_parallelism == 0.0
+
+    def test_waste(self):
+        rec = make_record(allotment=4, steps=1000, work=3500)
+        assert rec.waste == 500
+
+    def test_zero_waste_when_fully_used(self):
+        rec = make_record(allotment=4, steps=1000, work=4000)
+        assert rec.waste == 0
+
+    def test_is_full(self):
+        assert make_record(steps=1000, quantum_length=1000).is_full
+        assert not make_record(steps=999, quantum_length=1000, work=100, span=50).is_full
+
+    def test_deprived_and_satisfied(self):
+        deprived = make_record(request=10.0, request_int=10, available=4, allotment=4)
+        assert deprived.deprived and not deprived.satisfied
+        satisfied = make_record(request=4.0)
+        assert satisfied.satisfied and not satisfied.deprived
+
+    def test_work_efficiency(self):
+        rec = make_record(allotment=4, steps=1000, work=3000)
+        assert rec.work_efficiency == pytest.approx(0.75)
+        assert rec.utilization == pytest.approx(0.75)
+
+    def test_span_efficiency(self):
+        rec = make_record(span=800.0, steps=1000)
+        assert rec.span_efficiency == pytest.approx(0.8)
+
+    def test_efficiencies_of_empty_quantum_are_zero(self):
+        rec = make_record(work=0, span=0.0, steps=0)
+        assert rec.work_efficiency == 0.0
+        assert rec.span_efficiency == 0.0
+
+
+# ---------------------------------------------------------------------------
+# JobTrace
+# ---------------------------------------------------------------------------
+
+
+def _trace_with(records):
+    trace = JobTrace(quantum_length=1000)
+    for rec in records:
+        trace.append(rec)
+    return trace
+
+
+class TestJobTrace:
+    def test_append_enforces_order(self):
+        trace = JobTrace(quantum_length=1000)
+        trace.append(make_record(index=1))
+        with pytest.raises(ValueError):
+            trace.append(make_record(index=3))
+
+    def test_first_record_must_be_quantum_one(self):
+        trace = JobTrace(quantum_length=1000)
+        with pytest.raises(ValueError):
+            trace.append(make_record(index=2))
+
+    def test_one_based_indexing(self):
+        trace = _trace_with([make_record(index=1), make_record(index=2)])
+        assert trace[1].index == 1
+        assert trace[2].index == 2
+        with pytest.raises(IndexError):
+            trace[0]
+
+    def test_len_and_iter(self):
+        trace = _trace_with([make_record(index=1), make_record(index=2)])
+        assert len(trace) == 2
+        assert [r.index for r in trace] == [1, 2]
+
+    def test_running_time_sums_steps(self):
+        trace = _trace_with(
+            [make_record(index=1, steps=1000), make_record(index=2, steps=400, work=100, span=50)]
+        )
+        assert trace.running_time == 1400
+
+    def test_completion_and_response_time(self):
+        trace = JobTrace(quantum_length=1000, release_time=500)
+        trace.append(make_record(index=1, start_step=1000))
+        trace.append(make_record(index=2, start_step=2000, steps=300, work=100, span=50))
+        assert trace.completion_time == 1000 + 1000 + 300
+        assert trace.response_time == 2300 - 500
+
+    def test_totals(self):
+        trace = _trace_with(
+            [
+                make_record(index=1, work=4000, span=100.0),
+                make_record(index=2, work=2000, span=50.0, allotment=4, steps=1000),
+            ]
+        )
+        assert trace.total_work == 6000
+        assert trace.total_span == pytest.approx(150.0)
+        assert trace.total_waste == (4000 - 4000) + (4000 - 2000)
+
+    def test_full_quanta_excludes_short_last(self):
+        trace = _trace_with(
+            [make_record(index=1), make_record(index=2, steps=10, work=5, span=2)]
+        )
+        assert [r.index for r in trace.full_quanta] == [1]
+
+    def test_measured_transition_factor_includes_a0(self):
+        # single full quantum at parallelism 5 => CL = 5 (vs A(0)=1)
+        trace = _trace_with(
+            [make_record(index=1, request=5.0, work=5000, span=1000.0, allotment=5)]
+        )
+        assert trace.measured_transition_factor() == pytest.approx(5.0)
+
+    def test_reallocation_count(self):
+        trace = _trace_with(
+            [
+                make_record(index=1, allotment=2, request=2.0),
+                make_record(index=2, allotment=4, request=4.0),
+                make_record(index=3, allotment=4, request=4.0),
+                make_record(index=4, allotment=1, request=1.0),
+            ]
+        )
+        assert trace.reallocation_count == 2
+
+    def test_avg_allotment_time_weighted(self):
+        trace = _trace_with(
+            [
+                make_record(index=1, allotment=2, request=2.0, steps=1000, work=2000),
+                make_record(
+                    index=2, allotment=4, request=4.0, steps=500, work=2000, span=100.0
+                ),
+            ]
+        )
+        assert trace.avg_allotment == pytest.approx((2 * 1000 + 4 * 500) / 1500)
+
+    def test_avg_allotment_empty(self):
+        assert JobTrace(quantum_length=10).avg_allotment == 0.0
+
+
+# ---------------------------------------------------------------------------
+# transition_factor_of_series
+# ---------------------------------------------------------------------------
+
+
+class TestTransitionFactorOfSeries:
+    def test_constant_series_is_one(self):
+        assert transition_factor_of_series([4.0, 4.0, 4.0]) == 1.0
+
+    def test_upward_and_downward_ratios_count(self):
+        assert transition_factor_of_series([1.0, 3.0]) == pytest.approx(3.0)
+        assert transition_factor_of_series([3.0, 1.0]) == pytest.approx(3.0)
+
+    def test_zero_entries_skipped(self):
+        assert transition_factor_of_series([2.0, 0.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_series(self):
+        assert transition_factor_of_series([]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1, max_size=30))
+    def test_always_at_least_one(self, series):
+        assert transition_factor_of_series(series) >= 1.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=2, max_size=30))
+    def test_invariant_under_reversal(self, series):
+        assert transition_factor_of_series(series) == pytest.approx(
+            transition_factor_of_series(series[::-1])
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=2, max_size=30),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_scale_invariant(self, series, k):
+        scaled = [k * x for x in series]
+        assert transition_factor_of_series(scaled) == pytest.approx(
+            transition_factor_of_series(series), rel=1e-9
+        )

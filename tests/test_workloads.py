@@ -1,0 +1,199 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.phased import PhasedJob
+from repro.workloads.forkjoin import (
+    ForkJoinGenerator,
+    constant_parallelism_job,
+    fork_join_job,
+    ramped_job,
+    structural_transition_factor,
+)
+from repro.workloads.jobsets import JobSetGenerator
+from repro.workloads.profiles import job_from_profile, profile_of_job, random_profile
+
+
+class TestConstantParallelism:
+    def test_structure(self):
+        job = constant_parallelism_job(8, 100)
+        assert job.work == 800
+        assert job.span == 100
+        assert job.average_parallelism == 8.0
+
+
+class TestForkJoinJob:
+    def test_alternation(self):
+        job = fork_join_job([4, 6], [10, 20], [5, 8])
+        widths = [p.width for p in job.phases]
+        assert widths == [1, 4, 1, 6]
+        assert job.span == 10 + 5 + 20 + 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fork_join_job([4], [10, 20], [5])
+
+
+class TestRampedJob:
+    def test_small_transition_factor(self):
+        job = ramped_job(64, ramp_factor=2.0, levels_per_phase=10)
+        assert structural_transition_factor(job) == pytest.approx(2.0)
+
+    def test_symmetric_ramp(self):
+        job = ramped_job(16, ramp_factor=2.0, levels_per_phase=5)
+        widths = [p.width for p in job.phases]
+        assert widths == [1, 2, 4, 8, 16, 8, 4, 2, 1]
+
+    def test_peak_levels(self):
+        job = ramped_job(8, levels_per_phase=5, peak_levels=50)
+        peak = max(job.phases, key=lambda p: p.width)
+        assert peak.levels == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ramped_job(0)
+        with pytest.raises(ValueError):
+            ramped_job(8, ramp_factor=1.0)
+        with pytest.raises(ValueError):
+            ramped_job(8, levels_per_phase=0)
+
+
+class TestStructuralTransitionFactor:
+    def test_serial_only(self):
+        assert structural_transition_factor(PhasedJob([(1, 10)])) == 1.0
+
+    def test_initial_transition_counts(self):
+        # job starting at width 6: A(0)=1 -> first transition is 6
+        assert structural_transition_factor(PhasedJob([(6, 10)])) == 6.0
+
+    def test_adjacent_phase_ratio(self):
+        job = PhasedJob([(1, 10), (8, 10), (2, 10)])
+        assert structural_transition_factor(job) == 8.0
+
+
+class TestForkJoinGenerator:
+    def test_phase_structure(self, rng):
+        gen = ForkJoinGenerator(quantum_length=100)
+        job = gen.generate(rng, transition_factor=12)
+        widths = [p.width for p in job.phases]
+        assert widths[0::2] == [1] * (len(widths) // 2)
+        assert widths[1::2] == [12] * (len(widths) // 2)
+
+    def test_structural_factor_matches_request(self, rng):
+        gen = ForkJoinGenerator(quantum_length=100)
+        job = gen.generate(rng, transition_factor=30)
+        assert structural_transition_factor(job) == 30.0
+
+    def test_phase_lengths_span_quanta(self, rng):
+        gen = ForkJoinGenerator(
+            quantum_length=100, serial_levels=(1.5, 3.0), parallel_levels=(1.5, 3.0)
+        )
+        job = gen.generate(rng, 5)
+        for p in job.phases:
+            assert 150 <= p.levels <= 300
+
+    def test_iterations_range(self, rng):
+        gen = ForkJoinGenerator(quantum_length=10, iterations=(2, 2))
+        job = gen.generate(rng, 4)
+        assert len(job.phases) == 4  # 2 iterations x (serial + parallel)
+
+    def test_batch(self, rng):
+        gen = ForkJoinGenerator(quantum_length=10)
+        jobs = gen.generate_batch(rng, 4, 5)
+        assert len(jobs) == 5
+
+    def test_determinism(self):
+        gen = ForkJoinGenerator(quantum_length=100)
+        a = gen.generate(np.random.default_rng(3), 7)
+        b = gen.generate(np.random.default_rng(3), 7)
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ForkJoinGenerator(quantum_length=0)
+        with pytest.raises(ValueError):
+            ForkJoinGenerator(iterations=(3, 2))
+        with pytest.raises(ValueError):
+            ForkJoinGenerator(serial_levels=(2.0, 1.0))
+        gen = ForkJoinGenerator(quantum_length=10)
+        with pytest.raises(ValueError):
+            gen.generate(rng, 0)
+
+
+class TestJobSetGenerator:
+    def test_load_reached(self, rng):
+        gen = JobSetGenerator(128, quantum_length=100)
+        sample = gen.generate(rng, 2.0)
+        assert sample.load >= 2.0 or len(sample.jobs) == 128
+
+    def test_load_matches_jobs(self, rng):
+        gen = JobSetGenerator(128, quantum_length=100)
+        sample = gen.generate(rng, 1.0)
+        recomputed = sum(j.average_parallelism for j in sample.jobs) / 128
+        assert sample.load == pytest.approx(recomputed)
+
+    def test_factors_within_range(self, rng):
+        gen = JobSetGenerator(128, quantum_length=100, factor_range=(5, 9))
+        sample = gen.generate(rng, 1.0)
+        assert all(5 <= c <= 9 for c in sample.transition_factors)
+
+    def test_at_most_p_jobs(self, rng):
+        gen = JobSetGenerator(4, quantum_length=50, factor_range=(2, 3))
+        sample = gen.generate(rng, 50.0)  # unreachable load
+        assert len(sample.jobs) == 4
+
+    def test_works_spans_accessors(self, rng):
+        gen = JobSetGenerator(64, quantum_length=50)
+        sample = gen.generate(rng, 0.5)
+        assert sample.works == tuple(j.work for j in sample.jobs)
+        assert sample.spans == tuple(j.span for j in sample.jobs)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            JobSetGenerator(0)
+        with pytest.raises(ValueError):
+            JobSetGenerator(8, factor_range=(0, 5))
+        gen = JobSetGenerator(8, quantum_length=10)
+        with pytest.raises(ValueError):
+            gen.generate(rng, 0.0)
+
+
+class TestProfiles:
+    def test_round_trip(self):
+        widths = [1, 1, 4, 4, 4, 2]
+        job = job_from_profile(widths)
+        assert profile_of_job(job) == widths
+
+    def test_runs_collapse_to_phases(self):
+        job = job_from_profile([3, 3, 3])
+        assert len(job.phases) == 1
+        assert job.phases[0].width == 3 and job.phases[0].levels == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            job_from_profile([])
+        with pytest.raises(ValueError):
+            job_from_profile([1, 0, 2])
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, widths):
+        assert profile_of_job(job_from_profile(widths)) == widths
+
+    def test_random_profile(self, rng):
+        prof = random_profile(rng, 4, segment_levels=(10, 20), widths=(2, 6))
+        assert 40 <= len(prof) <= 80
+        assert all(2 <= w <= 6 for w in prof)
+
+    def test_random_profile_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_profile(rng, 0)
+        with pytest.raises(ValueError):
+            random_profile(rng, 2, widths=(5, 2))
+        with pytest.raises(ValueError):
+            random_profile(rng, 2, segment_levels=(5, 2))
