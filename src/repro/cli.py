@@ -11,8 +11,13 @@ Usage::
     python -m repro bounds
     python -m repro ablation-rate | ablation-quantum | ablation-discipline |
                     ablation-allocator
+    python -m repro audit [--lint src/repro]
+    python -m repro --audit <any command>
 
 Every command prints the rows/series the corresponding paper figure plots.
+``audit`` (or the global ``--audit`` flag) replays the example workloads
+through the invariant auditor (``repro.verify``) and exits non-zero on any
+violation of the paper's model invariants.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from dataclasses import fields
 
 from . import experiments as exp
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _parse_range(spec: str) -> list[int]:
@@ -155,7 +160,9 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
     if args.plot:
         from .report import line_chart
 
-        mid = lambda b: (b.load_low + b.load_high) / 2
+        def mid(b: exp.LoadBin) -> float:
+            return (b.load_low + b.load_high) / 2
+
         out += "\n\n" + line_chart(
             {
                 "ABG": [(mid(b), b.abg_makespan_norm) for b in bins],
@@ -266,10 +273,46 @@ def _cmd_characteristics(args: argparse.Namespace) -> str:
     )
 
 
+def _run_audit_suite() -> tuple[str, int]:
+    """Run the canonical audit scenarios; exit status 1 on any violation."""
+    from .verify.scenarios import format_suite, run_audit_suite
+
+    results = run_audit_suite()
+    failed = any(not report.ok for _, report in results)
+    return format_suite(results), 1 if failed else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> str:
+    text, status = _run_audit_suite()
+    if args.lint:
+        from .verify.lint import lint_paths
+
+        try:
+            findings = lint_paths([p for p in args.lint])
+        except FileNotFoundError as exc:
+            print(text)
+            raise SystemExit(f"error: {exc}") from None
+        if findings:
+            text += "\n\nlint findings:\n" + "\n".join(str(f) for f in findings)
+            status = 1
+        else:
+            text += f"\n\nlint: clean ({', '.join(args.lint)})"
+    if status:
+        print(text)
+        raise SystemExit(1)
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="abg-repro",
         description="Reproduce the evaluation of 'Adaptive B-Greedy (ABG)' (IPPS 2008).",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="after the command, replay the example workloads through the "
+        "invariant auditor and fail on any violation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -348,12 +391,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_all)
 
+    p = sub.add_parser(
+        "audit",
+        help="replay the example workloads through the invariant auditor "
+        "(exit 1 on any violation)",
+    )
+    p.add_argument(
+        "--lint",
+        nargs="*",
+        metavar="PATH",
+        default=None,
+        help="additionally run the determinism lint pass on these paths",
+    )
+    p.set_defaults(func=_cmd_audit)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     print(args.func(args))
+    if args.audit and args.command != "audit":
+        text, status = _run_audit_suite()
+        print()
+        print(text)
+        return status
     return 0
 
 

@@ -58,7 +58,9 @@ class FirstOrderLoop:
         For the stable loop this is always 1 (zero steady-state error): the
         request converges to the parallelism."""
         denom = 1.0 - self.pole
-        if denom == 0.0:
+        # The dc gain is genuinely infinite only at an exactly-unit pole
+        # (gain == 0); a near-unit pole has a finite, meaningful dc gain.
+        if denom == 0.0:  # noqa: ABG102
             return float("inf")
         return (self.gain / self.parallelism) / denom
 

@@ -28,6 +28,7 @@ __all__ = [
     "QuantumRecord",
     "JobTrace",
     "integer_request",
+    "transition_factor_of_series",
 ]
 
 

@@ -31,6 +31,14 @@ from typing import Literal
 import numpy as np
 
 from ..dag.graph import Dag
+from ..verify.violations import (
+    InvariantError,
+    V_IDLE_WITH_READY_TASKS,
+    V_INCOMPLETE_DAG,
+    V_NOT_LOWEST_LEVEL_FIRST,
+    V_PRECEDENCE,
+    Violation,
+)
 from .base import JobExecutor, QuantumExecution
 
 __all__ = ["ExplicitExecutor", "Discipline"]
@@ -39,13 +47,35 @@ Discipline = Literal["breadth-first", "fifo", "lifo"]
 
 
 class ExplicitExecutor(JobExecutor):
-    """Executes an explicit :class:`~repro.dag.graph.Dag` step by step."""
+    """Executes an explicit :class:`~repro.dag.graph.Dag` step by step.
 
-    def __init__(self, dag: Dag, discipline: Discipline = "breadth-first"):
+    With ``strict=True`` the executor re-validates the scheduling invariants
+    *as it runs* — every scheduled task's predecessors have completed,
+    breadth-first never runs a deeper task while a shallower one is ready,
+    no processor idles while tasks are ready, and the dag is complete when
+    the executor reports finished — raising
+    :class:`~repro.verify.violations.InvariantError` at the breaking step.
+    ``record_schedule=True`` additionally logs ``(allotment, tasks)`` per
+    step for post-hoc replay through
+    :func:`repro.verify.auditor.audit_dag_schedule`.
+    """
+
+    def __init__(
+        self,
+        dag: Dag,
+        discipline: Discipline = "breadth-first",
+        *,
+        strict: bool = False,
+        record_schedule: bool = False,
+    ):
         if discipline not in ("breadth-first", "fifo", "lifo"):
             raise ValueError(f"unknown discipline {discipline!r}")
         self._dag = dag
         self._discipline: Discipline = discipline
+        self._strict = bool(strict)
+        self.schedule: list[tuple[int, list[int]]] | None = (
+            [] if record_schedule else None
+        )
         self._indegree = np.fromiter(
             (dag.in_degree(t) for t in range(dag.num_tasks)),
             dtype=np.int64,
@@ -89,9 +119,21 @@ class ExplicitExecutor(JobExecutor):
         work = 0
         steps = 0
         while steps < max_steps and self._remaining > 0:
-            n = min(allotment, self._num_ready())
-            assert n >= 1, "an unfinished job always has a ready task"
+            ready_before = self._num_ready()
+            n = min(allotment, ready_before)
+            if n < 1:
+                raise InvariantError(
+                    Violation(
+                        V_IDLE_WITH_READY_TASKS,
+                        f"no ready task with {self._remaining} tasks remaining "
+                        "(an unfinished job always has a ready task)",
+                    )
+                )
             scheduled = [self._pop_ready() for _ in range(n)]
+            if self._strict:
+                self._check_step(scheduled, allotment, ready_before)
+            if self.schedule is not None:
+                self.schedule.append((allotment, list(scheduled)))
             steps += 1
             work += n
             self._remaining -= n
@@ -102,12 +144,63 @@ class ExplicitExecutor(JobExecutor):
                     self._indegree[child] -= 1
                     if self._indegree[child] == 0:
                         self._push_ready(child)
+        if self._strict and self._remaining == 0:
+            self._check_completion()
         span = float(
             np.sum(completed_per_level[1:] / self._level_sizes.astype(np.float64))
         )
         return QuantumExecution(
             work=work, span=span, steps=steps, finished=self._remaining == 0
         )
+
+    # ------------------------------------------------------------------
+    # strict-mode invariant checks
+    # ------------------------------------------------------------------
+
+    def _check_step(
+        self, scheduled: list[int], allotment: int, ready_before: int
+    ) -> None:
+        """Validate one step's scheduling decisions (strict mode)."""
+        if len(scheduled) != min(allotment, ready_before):
+            raise InvariantError(
+                Violation(
+                    V_IDLE_WITH_READY_TASKS,
+                    f"scheduled {len(scheduled)} tasks, greedy requires "
+                    f"min(a={allotment}, ready={ready_before})",
+                )
+            )
+        for t in scheduled:
+            if self._indegree[t] != 0:
+                raise InvariantError(
+                    Violation(
+                        V_PRECEDENCE,
+                        f"task {t} scheduled with {int(self._indegree[t])} "
+                        "incomplete predecessor(s)",
+                    )
+                )
+        if self._discipline == "breadth-first" and self._heap:
+            deepest = max(self._dag.level_of(t) for t in scheduled)
+            shallowest_waiting = self._heap[0][0]
+            if shallowest_waiting < deepest:
+                raise InvariantError(
+                    Violation(
+                        V_NOT_LOWEST_LEVEL_FIRST,
+                        f"scheduled a level-{deepest} task while a level-"
+                        f"{shallowest_waiting} task was ready",
+                    )
+                )
+
+    def _check_completion(self) -> None:
+        """Validate the finished state (strict mode): every task executed."""
+        executed = int(self._completed_cum.sum())
+        if executed != self._dag.num_tasks or self._num_ready() != 0:
+            raise InvariantError(
+                Violation(
+                    V_INCOMPLETE_DAG,
+                    f"executor reports finished after {executed} of "
+                    f"{self._dag.num_tasks} tasks",
+                )
+            )
 
     # ------------------------------------------------------------------
 

@@ -39,6 +39,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from ..verify.violations import (
+    InvariantError,
+    V_IDLE_WITH_READY_TASKS,
+    V_SPAN_EXCEEDS_STEPS,
+    V_WORK_EXCEEDS_CAPACITY,
+    Violation,
+)
 from .base import JobExecutor, QuantumExecution
 
 __all__ = ["Phase", "PhasedJob", "PhasedExecutor"]
@@ -127,15 +134,24 @@ class PhasedJob:
 
 
 class PhasedExecutor(JobExecutor):
-    """Closed-form B-Greedy execution state of a :class:`PhasedJob`."""
+    """Closed-form B-Greedy execution state of a :class:`PhasedJob`.
 
-    __slots__ = ("_job", "_phase_idx", "_done_in_phase", "_remaining")
+    With ``strict=True`` every quantum's closed-form result is re-validated
+    against the invariants the arithmetic is supposed to guarantee — work
+    within processor capacity, greedy non-idling (at least one task per
+    step), span within the quantum length — raising
+    :class:`~repro.verify.violations.InvariantError` if the closed form ever
+    drifts from B-Greedy semantics.
+    """
 
-    def __init__(self, job: PhasedJob):
+    __slots__ = ("_job", "_phase_idx", "_done_in_phase", "_remaining", "_strict")
+
+    def __init__(self, job: PhasedJob, *, strict: bool = False):
         self._job = job
         self._phase_idx = 0
         self._done_in_phase = 0
         self._remaining = job.work
+        self._strict = bool(strict)
 
     # ------------------------------------------------------------------
 
@@ -176,12 +192,45 @@ class PhasedExecutor(JobExecutor):
             else:
                 self._done_in_phase = done
         self._remaining -= work
+        steps_used = max_steps - steps_left
+        if self._strict:
+            self._check_quantum(work, span, steps_used, a)
         return QuantumExecution(
             work=work,
             span=span,
-            steps=max_steps - steps_left,
+            steps=steps_used,
             finished=self._remaining == 0,
         )
+
+    def _check_quantum(
+        self, work: int, span: float, steps: int, allotment: int
+    ) -> None:
+        """Re-validate a closed-form quantum against B-Greedy semantics
+        (strict mode)."""
+        if work > allotment * steps:
+            raise InvariantError(
+                Violation(
+                    V_WORK_EXCEEDS_CAPACITY,
+                    f"closed form produced T1(q)={work} > a*steps="
+                    f"{allotment * steps}",
+                )
+            )
+        if work < steps:
+            raise InvariantError(
+                Violation(
+                    V_IDLE_WITH_READY_TASKS,
+                    f"closed form produced T1(q)={work} < steps={steps}; "
+                    "greedy completes at least one task per step",
+                )
+            )
+        if span > steps + 1e-9:
+            raise InvariantError(
+                Violation(
+                    V_SPAN_EXCEEDS_STEPS,
+                    f"closed form produced Tinf(q)={span} > steps={steps}; "
+                    "breadth-first advances at most one level per step",
+                )
+            )
 
     # ------------------------------------------------------------------
 

@@ -24,7 +24,7 @@ from .fig2 import Fig2Result, run_fig2
 from .overhead_study import OverheadRow, run_overhead_study
 from .fig4 import TransientResult, run_fig1, run_fig4, run_transient
 from .fig5 import Fig5Point, Fig5Result, run_fig5
-from .fig6 import Fig6Point, Fig6Result, bin_by_load, run_fig6
+from .fig6 import Fig6Point, Fig6Result, LoadBin, bin_by_load, run_fig6
 from .stealing_compare import StealingRow, run_stealing_compare
 from .theorem1 import Theorem1Row, run_theorem1
 from .trim_demo import TrimDemoRow, run_trim_demo
@@ -48,6 +48,7 @@ __all__ = [
     "run_fig5",
     "Fig6Point",
     "Fig6Result",
+    "LoadBin",
     "run_fig6",
     "bin_by_load",
     "Theorem1Row",

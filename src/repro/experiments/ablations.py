@@ -15,14 +15,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..allocators.equipartition import DynamicEquiPartitioning
 from ..allocators.roundrobin import RoundRobinAllocator
 from ..core.abg import AControl
-from ..core.quantum_policy import AdaptiveQuantumLength, FixedQuantumLength
+from ..core.quantum_policy import (
+    AdaptiveQuantumLength,
+    FixedQuantumLength,
+    QuantumLengthPolicy,
+)
 from ..dag.builders import fork_join_from_phases, random_layered
 from ..sim.jobs import JobSpec
 from ..sim.multi import simulate_job_set
@@ -118,7 +122,9 @@ def run_quantum_ablation(
     jobs = [gen.generate(rng, c) for c in factors for _ in range(jobs_per_factor)]
     policy = AControl(convergence_rate)
 
-    def run_all(qlen_factory) -> QuantumRow | None:
+    def run_all(
+        qlen_factory: Callable[[], QuantumLengthPolicy],
+    ) -> tuple[float, float, float, float]:
         t_norm, w_norm, realloc, quanta = [], [], [], []
         for job in jobs:
             trace = simulate_job(

@@ -12,7 +12,13 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["ExperimentTable", "format_table", "format_series", "default_rng_seed"]
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "format_series",
+    "default_rng_seed",
+    "dataclass_columns",
+]
 
 #: Seed used by every experiment unless overridden — reproducibility first.
 default_rng_seed = 20080414  # IPDPS 2008 conference date

@@ -18,7 +18,7 @@ fewer cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from ..core.agreedy import AGreedy
 from ..sim.single import simulate_job
 from ..workloads.forkjoin import ForkJoinGenerator
 from .common import default_rng_seed
+
+if TYPE_CHECKING:
+    from ..sim.stats import ConfidenceInterval
 
 __all__ = ["Fig5Point", "Fig5Result", "run_fig5"]
 
@@ -76,7 +79,7 @@ class Fig5Result:
         wasted processor cycles")."""
         return 1.0 - 1.0 / self.mean_waste_ratio
 
-    def time_ratio_ci(self, confidence: float = 0.95):
+    def time_ratio_ci(self, confidence: float = 0.95) -> "ConfidenceInterval":
         """Bootstrap confidence interval of the mean per-factor A-Greedy/ABG
         running-time ratio — how tight the headline average is at this
         sample size."""
@@ -86,7 +89,7 @@ class Fig5Result:
             [p.time_ratio for p in self.points], confidence=confidence
         )
 
-    def waste_ratio_ci(self, confidence: float = 0.95):
+    def waste_ratio_ci(self, confidence: float = 0.95) -> "ConfidenceInterval":
         """Bootstrap confidence interval of the mean per-factor waste ratio."""
         from ..sim.stats import bootstrap_ci
 

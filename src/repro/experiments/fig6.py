@@ -17,7 +17,12 @@ feedback law irrelevant).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..sim.stats import ConfidenceInterval
 
 from ..allocators.equipartition import DynamicEquiPartitioning
 from ..core.abg import AControl
@@ -29,7 +34,7 @@ from ..sim.multi import simulate_job_set
 from ..workloads.jobsets import JobSetGenerator, JobSetSample
 from .common import default_rng_seed
 
-__all__ = ["Fig6Point", "Fig6Result", "run_fig6", "bin_by_load"]
+__all__ = ["Fig6Point", "Fig6Result", "LoadBin", "run_fig6", "bin_by_load"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,7 +74,7 @@ class Fig6Result:
             float(np.mean([p.response_ratio for p in light])),
         )
 
-    def makespan_ratio_ci(self, confidence: float = 0.95):
+    def makespan_ratio_ci(self, confidence: float = 0.95) -> "ConfidenceInterval":
         """Bootstrap confidence interval of the mean per-set A-Greedy/ABG
         makespan ratio across all loads."""
         from ..sim.stats import bootstrap_ci

@@ -11,13 +11,16 @@ utilization signal but pays steal overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
 import numpy as np
 
 from ..core.abg import AControl
+from ..core.types import JobTrace
 from ..dag.builders import fork_join_from_phases
 from ..sim.single import simulate_job
 from ..stealing.asteal import ABPPolicy, ASteal
-from ..stealing.executor import WorkStealingExecutor
+from ..stealing.executor import StealStats, WorkStealingExecutor
 from .common import default_rng_seed
 
 __all__ = ["StealingRow", "run_stealing_compare"]
@@ -54,7 +57,9 @@ def run_stealing_compare(
 
     rows: list[StealingRow] = []
 
-    def collect(name, traces, stats_list):
+    def collect(
+        name: str, traces: Sequence[JobTrace], stats_list: Sequence[StealStats]
+    ) -> None:
         rows.append(
             StealingRow(
                 scheduler=name,
@@ -81,7 +86,7 @@ def run_stealing_compare(
     collect("ABG", traces, [])
 
     # A-Steal: work stealing + mult-inc/mult-dec feedback
-    traces, stats = [], []
+    traces, stats = [], []  # type: list[JobTrace], list[StealStats]
     for d in dags:
         executor = WorkStealingExecutor(d, rng)
         traces.append(
@@ -91,7 +96,7 @@ def run_stealing_compare(
     collect("A-Steal", traces, stats)
 
     # ABP: work stealing, no feedback (requests the whole machine)
-    traces, stats = [], []
+    traces, stats = [], []  # type: list[JobTrace], list[StealStats]
     for d in dags:
         executor = WorkStealingExecutor(d, rng)
         traces.append(

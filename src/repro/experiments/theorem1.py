@@ -20,6 +20,7 @@ from ..control.analysis import analyze_response
 from ..control.theory import verify_theorem1
 from ..core.abg import AControl
 from ..core.agreedy import AGreedy
+from ..core.feedback import FeedbackPolicy
 from ..sim.single import simulate_job
 from ..workloads.forkjoin import constant_parallelism_job
 
@@ -40,7 +41,9 @@ class Theorem1Row:
     sim_oscillation: float
 
 
-def _simulated_requests(policy, parallelism: int, num_quanta: int, L: int) -> np.ndarray:
+def _simulated_requests(
+    policy: FeedbackPolicy, parallelism: int, num_quanta: int, L: int
+) -> np.ndarray:
     job = constant_parallelism_job(parallelism, num_quanta * L)
     trace = simulate_job(job, policy, 4 * parallelism, quantum_length=L)
     return np.array(trace.request_series()[:num_quanta])

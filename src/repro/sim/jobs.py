@@ -24,7 +24,12 @@ ExecutorFactory = Callable[[], JobExecutor]
 JobDescription = PhasedJob | Dag | JobExecutor | ExecutorFactory
 
 
-def make_executor(job: JobDescription, discipline: Discipline = "breadth-first") -> JobExecutor:
+def make_executor(
+    job: JobDescription,
+    discipline: Discipline = "breadth-first",
+    *,
+    strict: bool = False,
+) -> JobExecutor:
     """Create a fresh executor for a job description.
 
     Phased jobs always execute with B-Greedy's breadth-first wavefront (for
@@ -32,11 +37,15 @@ def make_executor(job: JobDescription, discipline: Discipline = "breadth-first")
     zero-argument callable is treated as an executor factory (for custom
     engines such as :class:`~repro.stealing.executor.WorkStealingExecutor`);
     an executor instance is returned as-is (caller owns its freshness).
+
+    ``strict=True`` enables the built-in engines' per-step invariant
+    checking (:class:`~repro.verify.violations.InvariantError` on breach);
+    custom executors are responsible for their own strictness.
     """
     if isinstance(job, PhasedJob):
-        return PhasedExecutor(job)
+        return PhasedExecutor(job, strict=strict)
     if isinstance(job, Dag):
-        return ExplicitExecutor(job, discipline)
+        return ExplicitExecutor(job, discipline, strict=strict)
     if isinstance(job, JobExecutor):
         return job
     if callable(job):

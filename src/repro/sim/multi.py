@@ -20,6 +20,7 @@ from typing import Sequence
 from ..allocators.base import Allocator, validate_allocation
 from ..core.overhead import NO_OVERHEAD, ReallocationOverhead
 from ..core.types import JobTrace, QuantumRecord, integer_request
+from ..engine.base import JobExecutor
 from .jobs import JobSpec, make_executor
 from .metrics import makespan, mean_response_time
 from .single import run_quantum_with_overhead
@@ -57,7 +58,7 @@ class MultiJobResult:
 @dataclass(slots=True)
 class _ActiveJob:
     spec: JobSpec
-    executor: object
+    executor: JobExecutor
     trace: JobTrace
     request: float
     next_q: int = 1
@@ -71,11 +72,13 @@ def simulate_job_set(
     quantum_length: int = 1000,
     max_quanta: int = 10_000_000,
     overhead: ReallocationOverhead = NO_OVERHEAD,
+    strict: bool = False,
 ) -> MultiJobResult:
     """Run a job set to completion under a multiprogrammed allocator.
 
     Job ids default to the spec's position in ``specs``; explicit
-    ``JobSpec.job_id`` values must be unique.
+    ``JobSpec.job_id`` values must be unique.  ``strict=True`` enables the
+    engines' per-step invariant checking for every job.
     """
     if processors < 1:
         raise ValueError("need at least one processor")
@@ -107,7 +110,7 @@ def simulate_job_set(
         # Admit jobs released at or before this boundary.
         while pending and pending[0][0] <= t:
             rel, jid, spec = pending.pop(0)
-            executor = make_executor(spec.job, spec.discipline)
+            executor = make_executor(spec.job, spec.discipline, strict=strict)
             trace = JobTrace(quantum_length=L, release_time=rel, job_id=jid)
             active[jid] = _ActiveJob(
                 spec=spec,

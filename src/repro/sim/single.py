@@ -19,7 +19,7 @@ from ..core.feedback import FeedbackPolicy
 from ..core.overhead import NO_OVERHEAD, ReallocationOverhead
 from ..core.quantum_policy import FixedQuantumLength, QuantumLengthPolicy
 from ..core.types import JobTrace, QuantumRecord, integer_request
-from ..engine.base import QuantumExecution
+from ..engine.base import JobExecutor, QuantumExecution
 from ..engine.explicit import Discipline
 from .jobs import JobDescription, make_executor
 
@@ -27,7 +27,7 @@ __all__ = ["simulate_job", "run_quantum_with_overhead"]
 
 
 def run_quantum_with_overhead(
-    executor,
+    executor: JobExecutor,
     allotment: int,
     length: int,
     prev_allotment: int | None,
@@ -58,6 +58,7 @@ def simulate_job(
     max_quanta: int = 10_000_000,
     job_id: int | None = None,
     overhead: ReallocationOverhead = NO_OVERHEAD,
+    strict: bool = False,
 ) -> JobTrace:
     """Run one job to completion and return its full quantum trace.
 
@@ -79,6 +80,9 @@ def simulate_job(
     overhead:
         Reallocation-overhead model (default: the paper's free
         reallocation); see :class:`~repro.core.overhead.ReallocationOverhead`.
+    strict:
+        Enable the engines' per-step invariant checking
+        (:class:`~repro.verify.violations.InvariantError` on breach).
     """
     if isinstance(availability, int):
         availability = ConstantAvailability(availability)
@@ -87,7 +91,7 @@ def simulate_job(
     else:
         qlen_policy = quantum_length
 
-    executor = make_executor(job, discipline)
+    executor = make_executor(job, discipline, strict=strict)
     if executor.finished:
         raise ValueError("job is already finished; pass a fresh executor or description")
     records: list[QuantumRecord] = []

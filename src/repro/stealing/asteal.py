@@ -48,7 +48,7 @@ class ABPPolicy(FixedRequest):
 
 
 def make_asteal(
-    dag: Dag, rng: np.random.Generator, **kwargs
+    dag: Dag, rng: np.random.Generator, **kwargs: float
 ) -> tuple[WorkStealingExecutor, ASteal]:
     """(executor, feedback) pair implementing A-Steal on ``dag``."""
     return WorkStealingExecutor(dag, rng), ASteal(**kwargs)

@@ -1,0 +1,188 @@
+"""Structured violation reporting for the invariant auditor.
+
+The auditor never asserts: it *reports*.  Every broken invariant becomes a
+:class:`Violation` carrying a machine-readable code (one of the ``V_*``
+constants below), the job/quantum it was observed at, and the measured vs
+expected quantities.  An :class:`AuditReport` aggregates the violations of
+one audit together with the list of checks that actually ran, so "no
+violations" can be distinguished from "check skipped".
+
+The engines' opt-in strict mode raises :class:`InvariantError` instead —
+fail-fast is the right behaviour *inside* a simulation, structured reporting
+the right behaviour when auditing one after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "AuditReport",
+    "InvariantError",
+    "merge_reports",
+    "V_ALLOTMENT_EXCEEDS_AVAILABLE",
+    "V_ALLOTMENT_EXCEEDS_REQUEST",
+    "V_REQUEST_NOT_CEIL",
+    "V_FIRST_REQUEST",
+    "V_QUANTUM_INDEX",
+    "V_STEPS_EXCEED_QUANTUM",
+    "V_EARLY_STOP_NOT_LAST",
+    "V_WORK_EXCEEDS_CAPACITY",
+    "V_IDLE_WITH_READY_TASKS",
+    "V_SPAN_EXCEEDS_WORK",
+    "V_SPAN_EXCEEDS_STEPS",
+    "V_WORK_CONSERVATION",
+    "V_SPAN_CONSERVATION",
+    "V_ACONTROL_RECURRENCE",
+    "V_THEOREM3_TIME_BOUND",
+    "V_THEOREM4_WASTE_BOUND",
+    "V_CAPACITY_EXCEEDED",
+    "V_DEQ_UNFAIR",
+    "V_RESERVATION",
+    "V_RELEASE_ORDER",
+    "V_BOUNDARY_ALIGNMENT",
+    "V_PRECEDENCE",
+    "V_DOUBLE_EXECUTION",
+    "V_INCOMPLETE_DAG",
+    "V_NOT_LOWEST_LEVEL_FIRST",
+    "V_OVERSCHEDULED_STEP",
+]
+
+# --- per-quantum allocation invariants (paper Section 2, Figure 3) ---------
+V_ALLOTMENT_EXCEEDS_AVAILABLE = "allotment-exceeds-available"
+V_ALLOTMENT_EXCEEDS_REQUEST = "allotment-exceeds-request"
+V_REQUEST_NOT_CEIL = "request-not-ceil"
+V_FIRST_REQUEST = "first-request-not-one"
+V_QUANTUM_INDEX = "quantum-index-order"
+V_STEPS_EXCEED_QUANTUM = "steps-exceed-quantum"
+V_EARLY_STOP_NOT_LAST = "early-stop-not-last"
+
+# --- greedy execution invariants (Section 2, Definitions of B-Greedy) ------
+V_WORK_EXCEEDS_CAPACITY = "work-exceeds-capacity"
+V_IDLE_WITH_READY_TASKS = "idle-with-ready-tasks"
+V_SPAN_EXCEEDS_WORK = "span-exceeds-work"
+V_SPAN_EXCEEDS_STEPS = "span-exceeds-steps"
+
+# --- whole-trace conservation (Section 2: exact A(q) accounting) -----------
+V_WORK_CONSERVATION = "work-conservation"
+V_SPAN_CONSERVATION = "span-conservation"
+
+# --- A-Control recurrence (Equation 3 / Theorem 1) -------------------------
+V_ACONTROL_RECURRENCE = "acontrol-recurrence"
+
+# --- bound satisfaction (Theorems 3-4) -------------------------------------
+V_THEOREM3_TIME_BOUND = "theorem3-time-bound"
+V_THEOREM4_WASTE_BOUND = "theorem4-waste-bound"
+
+# --- multiprogrammed allocation (Sections 5.1, 6.3, Theorem 5) -------------
+V_CAPACITY_EXCEEDED = "capacity-exceeded"
+V_DEQ_UNFAIR = "deq-unfair"
+V_RESERVATION = "reservation"
+V_RELEASE_ORDER = "release-order"
+V_BOUNDARY_ALIGNMENT = "boundary-alignment"
+
+# --- dag schedule replay (Section 2: precedence + completion) --------------
+V_PRECEDENCE = "precedence"
+V_DOUBLE_EXECUTION = "double-execution"
+V_INCOMPLETE_DAG = "incomplete-dag"
+V_NOT_LOWEST_LEVEL_FIRST = "not-lowest-level-first"
+V_OVERSCHEDULED_STEP = "overscheduled-step"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One mechanically-detected breach of a model invariant."""
+
+    code: str
+    """Machine-readable code, one of the ``V_*`` constants."""
+
+    message: str
+    """Human-readable description with the offending quantities."""
+
+    job_id: int | None = None
+    """Job the violation belongs to (``None`` for single-job audits)."""
+
+    quantum: int | None = None
+    """1-based quantum index ``q`` (``None`` for whole-trace violations)."""
+
+    measured: float | None = None
+    """The observed quantity, when the check compares against a bound."""
+
+    bound: float | None = None
+    """The bound the observed quantity should have satisfied."""
+
+    def __str__(self) -> str:
+        where = []
+        if self.job_id is not None:
+            where.append(f"job {self.job_id}")
+        if self.quantum is not None:
+            where.append(f"q={self.quantum}")
+        prefix = f"[{self.code}]" + (f" ({', '.join(where)})" if where else "")
+        return f"{prefix} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """The outcome of one audit: violations found plus checks performed."""
+
+    violations: tuple[Violation, ...] = ()
+    checks: tuple[str, ...] = ()
+    """Codes of the invariant families that were actually evaluated —
+    distinguishes "clean" from "not checked"."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> set[str]:
+        """Distinct violation codes present in the report."""
+        return {v.code for v in self.violations}
+
+    def by_code(self, code: str) -> tuple[Violation, ...]:
+        return tuple(v for v in self.violations if v.code == code)
+
+    def checked(self, code: str) -> bool:
+        return code in self.checks
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK ({len(self.checks)} invariant families checked)"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def merge_reports(reports: Iterable[AuditReport]) -> AuditReport:
+    """Combine several audit reports into one (violations concatenated,
+    checks unioned in first-seen order)."""
+    violations: list[Violation] = []
+    checks: list[str] = []
+    for report in reports:
+        violations.extend(report.violations)
+        for c in report.checks:
+            if c not in checks:
+                checks.append(c)
+    return AuditReport(violations=tuple(violations), checks=tuple(checks))
+
+
+class InvariantError(RuntimeError):
+    """Raised by the engines' strict mode at the moment an invariant breaks.
+
+    Carries the same structured :class:`Violation` the auditor would have
+    reported, so tests can assert on the code rather than message text.
+    """
+
+    def __init__(self, violation: Violation):
+        super().__init__(str(violation))
+        self.violation = violation

@@ -1,0 +1,132 @@
+"""Tests for the determinism/invariant lint pass (``repro.verify.lint``).
+
+Each rule must fire on a minimal synthetic source, stay quiet on the
+idiomatic alternative, and honor ``# noqa`` suppression; the shipped source
+tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.verify.lint import check_source, lint_paths, main
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in check_source(textwrap.dedent(source))]
+
+
+class TestUnseededRandomness:
+    def test_stdlib_random_import_flagged(self):
+        assert "ABG101" in codes("import random\n")
+        assert "ABG101" in codes("from random import shuffle\n")
+
+    def test_stdlib_random_call_flagged(self):
+        found = codes("import random\nx = random.random()\n")
+        assert found.count("ABG101") >= 2  # the import and the call
+
+    def test_numpy_global_state_flagged(self):
+        assert "ABG101" in codes("import numpy as np\nnp.random.seed(3)\n")
+        assert "ABG101" in codes("import numpy\nnumpy.random.rand(4)\n")
+        assert "ABG101" in codes("from numpy.random import rand\n")
+
+    def test_seeded_generator_allowed(self):
+        assert codes("import numpy as np\nrng = np.random.default_rng(0)\n") == []
+        assert codes("from numpy.random import Generator, default_rng\n") == []
+        assert codes("import numpy as np\nx = rng.integers(0, 5)\n") == []
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_flagged(self):
+        assert "ABG102" in codes("if x == 1.0:\n    pass\n")
+        assert "ABG102" in codes("ok = y != 0.5\n")
+        assert "ABG102" in codes("if x == -1.0:\n    pass\n")
+
+    def test_integer_and_ordering_comparisons_allowed(self):
+        assert codes("if x == 1:\n    pass\n") == []
+        assert codes("if x <= 1.0:\n    pass\n") == []
+        assert codes("if math.isclose(x, 1.0):\n    pass\n") == []
+
+
+class TestMutableDefaults:
+    def test_literal_defaults_flagged(self):
+        assert "ABG103" in codes("def f(xs=[]):\n    pass\n")
+        assert "ABG103" in codes("def f(m={}):\n    pass\n")
+        assert "ABG103" in codes("def f(*, s=set()):\n    pass\n")
+        assert "ABG103" in codes("g = lambda xs=list(): xs\n")
+
+    def test_immutable_defaults_allowed(self):
+        assert codes("def f(xs=None, n=3, t=()):\n    pass\n") == []
+
+
+class TestSetOrderIteration:
+    def test_direct_set_iteration_flagged(self):
+        assert "ABG104" in codes("for x in {1, 2, 3}:\n    pass\n")
+        assert "ABG104" in codes("for x in set(xs):\n    pass\n")
+        assert "ABG104" in codes("ys = [x for x in {1, 2}]\n")
+        assert "ABG104" in codes("for x in set(a) - set(b):\n    pass\n")
+
+    def test_sorted_traversal_allowed(self):
+        assert codes("for x in sorted({1, 2, 3}):\n    pass\n") == []
+        assert codes("for x in [1, 2, 3]:\n    pass\n") == []
+
+
+class TestDunderAllConsistency:
+    def test_phantom_export_flagged(self):
+        assert "ABG105" in codes('__all__ = ["missing"]\n')
+
+    def test_unexported_public_def_flagged(self):
+        src = '__all__ = ["f"]\n\ndef f():\n    pass\n\ndef g():\n    pass\n'
+        assert "ABG105" in codes(src)
+
+    def test_consistent_module_clean(self):
+        src = (
+            '__all__ = ["f", "CONST"]\n'
+            "CONST = 3\n\n"
+            "def f():\n    pass\n\n"
+            "def _private():\n    pass\n"
+        )
+        assert codes(src) == []
+
+    def test_no_dunder_all_is_fine(self):
+        assert codes("def f():\n    pass\n") == []
+
+
+class TestNoqaSuppression:
+    def test_specific_code_suppressed(self):
+        assert codes("if x == 1.0:  # noqa: ABG102\n    pass\n") == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert codes("for x in {1, 2}:  # noqa\n    pass\n") == []
+
+    def test_other_code_not_suppressed(self):
+        assert "ABG102" in codes("if x == 1.0:  # noqa: ABG104\n    pass\n")
+
+
+class TestTreeAndRunner:
+    def test_shipped_source_tree_is_clean(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_main_exit_codes(self, tmp_path: Path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f() -> int:\n    return 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert "ABG101" in capsys.readouterr().out
+        assert main([]) == 2
+
+    def test_main_rejects_missing_path(self, tmp_path: Path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path: Path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(:\n")
+        findings = lint_paths([bad])
+        assert findings and findings[0].path == str(bad)
