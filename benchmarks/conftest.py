@@ -18,6 +18,15 @@ import pytest
 FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Everything under ``benchmarks/`` carries the ``bench`` marker: tier-1
+    (``pytest`` with the default ``testpaths = ["tests"]``) never collects
+    these; CI and developers run them explicitly with ``pytest benchmarks/``
+    or deselect them anywhere with ``-m "not bench"``."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def full_scale() -> bool:
     return FULL

@@ -1,0 +1,33 @@
+"""Perf-baseline harness: canonical benchmark scenarios, ``BENCH_<rev>.json``
+reports, and the regression gate (``python -m repro bench``)."""
+
+from .harness import (
+    BenchReport,
+    Regression,
+    ScenarioTiming,
+    compare_reports,
+    current_rev,
+    load_report,
+    measure_calibration,
+    report_payload,
+    run_bench,
+    write_report,
+)
+from .scenarios import BENCH_SCALES, SCENARIOS, Scenario, scenario_names
+
+__all__ = [
+    "BenchReport",
+    "Regression",
+    "ScenarioTiming",
+    "compare_reports",
+    "current_rev",
+    "load_report",
+    "measure_calibration",
+    "report_payload",
+    "run_bench",
+    "write_report",
+    "BENCH_SCALES",
+    "SCENARIOS",
+    "Scenario",
+    "scenario_names",
+]

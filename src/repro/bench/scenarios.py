@@ -1,0 +1,124 @@
+"""Canonical benchmark scenarios for the perf-baseline harness.
+
+Each scenario is a deterministic, self-contained workload exercising one
+hot path of the codebase (the reference engine, the batched kernel, the
+closed-form phased engine, the full adaptive simulation loop, and the two
+headline sweeps).  A scenario returns the number of *work units* it
+processed — scheduler steps for the engine scenarios, simulations for the
+sweeps — so the harness can report a units/second throughput alongside the
+wall time.
+
+Two sizes exist per scenario: ``"smoke"`` (seconds-fast, used by CI and the
+test suite) and ``"default"`` (the committed-baseline scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.abg import AControl
+from ..dag.builders import fork_join_from_phases
+from ..dag.graph import Dag
+from ..engine.batched import BatchedDagExecutor
+from ..engine.explicit import ExplicitExecutor
+from ..engine.phased import Phase, PhasedExecutor, PhasedJob
+from ..experiments.fig5 import run_fig5
+from ..experiments.fig6 import run_fig6
+from ..sim.single import simulate_job
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_names", "BENCH_SCALES"]
+
+BENCH_SCALES = ("smoke", "default")
+
+#: (width, span) phases of the canonical fork-join benchmark job, per scale.
+_PHASES = {
+    "smoke": [(1, 100), (32, 100), (1, 100), (32, 100)],
+    "default": [(1, 400), (32, 400), (1, 400), (32, 400)],
+}
+
+
+#: The canonical dag per scale, built once: the engine scenarios measure
+#: *execution* (a warm dag with cached derived structure, as in a sweep
+#: re-running one job), not graph construction.
+_DAG_CACHE: dict[str, Dag] = {}
+
+
+def _bench_dag(scale: str) -> Dag:
+    if scale not in _DAG_CACHE:
+        _DAG_CACHE[scale] = fork_join_from_phases(_PHASES[scale])
+    return _DAG_CACHE[scale]
+
+
+def _drive_executor(executor: ExplicitExecutor | BatchedDagExecutor | PhasedExecutor) -> int:
+    steps = 0
+    while not executor.finished:
+        steps += executor.execute_quantum(16, 50).steps
+    return steps
+
+
+def _explicit_reference(scale: str) -> int:
+    """Reference heap engine, breadth-first, on the canonical fork-join dag."""
+    return _drive_executor(ExplicitExecutor(_bench_dag(scale), "breadth-first"))
+
+
+def _explicit_fifo(scale: str) -> int:
+    """Reference engine's FIFO (plain greedy) deque path on the same dag."""
+    return _drive_executor(ExplicitExecutor(_bench_dag(scale), "fifo"))
+
+
+def _batched_kernel(scale: str) -> int:
+    """Batched level-major kernel on the same dag (same quanta, same numbers)."""
+    return _drive_executor(BatchedDagExecutor(_bench_dag(scale)))
+
+
+def _phased_closed_form(scale: str) -> int:
+    """Closed-form phased engine on the equivalent phase list."""
+    job = PhasedJob(tuple(Phase(w, s) for w, s in _PHASES[scale]))
+    return _drive_executor(PhasedExecutor(job))
+
+
+def _simulate_abg(scale: str) -> int:
+    """Full adaptive loop: ABG feedback driving the auto-selected engine."""
+    trace = simulate_job(
+        _bench_dag(scale), AControl(0.2), 64, quantum_length=100
+    )
+    return int(trace.running_time)
+
+
+def _fig5_sweep(scale: str) -> int:
+    """Figure 5 driver at a pinned micro scale (generation + simulation)."""
+    jobs = 2 if scale == "smoke" else 6
+    result = run_fig5(factors=(5, 20), jobs_per_factor=jobs)
+    return 2 * jobs * len(result.points)
+
+
+def _fig6_sweep(scale: str) -> int:
+    """Figure 6 driver at a pinned micro scale (DEQ multiprogramming)."""
+    sets = 2 if scale == "smoke" else 6
+    result = run_fig6(num_sets=sets)
+    return 2 * len(result.points)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A named benchmark workload: ``run(scale)`` returns work units done."""
+
+    name: str
+    description: str
+    run: Callable[[str], int]
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario("explicit-reference", "reference heap engine, breadth-first", _explicit_reference),
+    Scenario("explicit-fifo", "reference engine, FIFO greedy", _explicit_fifo),
+    Scenario("batched-kernel", "batched level-major kernel", _batched_kernel),
+    Scenario("phased-closed-form", "closed-form phased engine", _phased_closed_form),
+    Scenario("simulate-abg", "ABG feedback loop, auto engine", _simulate_abg),
+    Scenario("fig5-sweep", "Figure 5 driver, micro scale", _fig5_sweep),
+    Scenario("fig6-sweep", "Figure 6 driver, micro scale", _fig6_sweep),
+)
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(s.name for s in SCENARIOS)

@@ -5,8 +5,9 @@ Usage::
     python -m repro fig1 [--parallelism 10] [--quanta 16]
     python -m repro fig2
     python -m repro fig4 [--parallelism 10] [--rate 0.2]
-    python -m repro fig5 [--factors 2:101:7] [--jobs 50]
-    python -m repro fig6 [--sets 200] [--bins 12]
+    python -m repro fig5 [--factors 2:101:7] [--jobs 50] [--workers N]
+    python -m repro fig6 [--sets 200] [--bins 12] [--workers N]
+    python -m repro all [--out results] [--scale reduced] [--jobs N]
     python -m repro theorem1
     python -m repro bounds
     python -m repro ablation-rate | ablation-quantum | ablation-discipline |
@@ -25,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import fields
+from pathlib import Path
 
 from . import experiments as exp
 
@@ -109,7 +111,11 @@ def _cmd_fig4(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> str:
-    result = exp.run_fig5(factors=_parse_range(args.factors), jobs_per_factor=args.jobs)
+    result = exp.run_fig5(
+        factors=_parse_range(args.factors),
+        jobs_per_factor=args.jobs,
+        workers=args.workers,
+    )
     if args.csv:
         from .report import write_csv
 
@@ -150,7 +156,7 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    result = exp.run_fig6(num_sets=args.sets)
+    result = exp.run_fig6(num_sets=args.sets, workers=args.workers)
     bins = exp.bin_by_load(result, num_bins=args.bins)
     if args.csv:
         from .report import write_csv
@@ -243,7 +249,7 @@ def _cmd_trim(args: argparse.Namespace) -> str:
 def _cmd_all(args: argparse.Namespace) -> str:
     from .experiments.runner import run_everything
 
-    result = run_everything(args.out, scale=args.scale)
+    result = run_everything(args.out, scale=args.scale, jobs=args.jobs)
     lines = [f"ran {len(result.outcomes)} experiments at scale '{result.scale}' "
              f"in {result.total_seconds:.1f}s"]
     for o in result.outcomes:
@@ -271,6 +277,81 @@ def _cmd_characteristics(args: argparse.Namespace) -> str:
         "Job characteristics study (Section 9 future work)",
         exp.run_characteristics_study(),
     )
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    import json
+
+    from .bench import (
+        compare_reports,
+        load_report,
+        report_payload,
+        run_bench,
+        write_report,
+    )
+
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    else:  # committed baseline matching the requested scale
+        suffix = "" if args.scale == "default" else f"_{args.scale}"
+        baseline_path = Path(f"benchmarks/BENCH_baseline{suffix}.json")
+    if baseline_path.exists():
+        baseline = load_report(baseline_path)
+    report = run_bench(scale=args.scale, repeats=args.repeats)
+
+    lines = [
+        f"perf baseline — rev {report.rev}, scale '{report.scale}', "
+        f"best of {args.repeats} (calibration {report.calibration_seconds * 1e3:.1f} ms)",
+        "",
+    ]
+    speedups = report.speedups_vs(baseline) if baseline is not None else {}
+    for t in report.timings:
+        line = (
+            f"  {t.name:<22} {t.seconds * 1e3:>9.2f} ms  "
+            f"{t.units_per_second:>12.0f} units/s  norm {t.normalized:>8.3f}"
+        )
+        if t.name in speedups:
+            line += f"  x{speedups[t.name]:.2f} vs {baseline.rev}"  # type: ignore[union-attr]
+        lines.append(line)
+
+    if args.write_baseline:
+        target = Path(args.write_baseline)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report_payload(report), indent=1))
+        lines.append(f"\nbaseline written: {target}")
+        return "\n".join(lines)
+    if args.out:
+        path = write_report(report, args.out, baseline=baseline)
+        lines.append(f"\nreport written: {path}")
+
+    if baseline is None:
+        lines.append(
+            "\nno baseline to gate against"
+            + (f" (missing {baseline_path})" if baseline_path else "")
+        )
+        return "\n".join(lines)
+
+    regressions = compare_reports(
+        report, baseline, max_regression=args.max_regression
+    )
+    if regressions:
+        lines.append(
+            f"\nPERF REGRESSION vs {baseline.rev} "
+            f"(gate: {100 * args.max_regression:.0f}%):"
+        )
+        for r in regressions:
+            lines.append(
+                f"  {r.scenario}: normalized {r.baseline_normalized:.3f} -> "
+                f"{r.current_normalized:.3f} ({r.slowdown:.2f}x slower)"
+            )
+        print("\n".join(lines))
+        raise SystemExit(1)
+    lines.append(
+        f"\nno regressions vs {baseline.rev} "
+        f"(gate: {100 * args.max_regression:.0f}%)"
+    )
+    return "\n".join(lines)
 
 
 def _run_audit_suite() -> tuple[str, int]:
@@ -333,12 +414,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig5", help="individual jobs vs transition factor")
     p.add_argument("--factors", default="2:101:7", help="a:b[:step] transition factors")
     p.add_argument("--jobs", type=int, default=50, help="jobs per factor")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (0 = all cores); results are "
+        "bit-identical at any worker count",
+    )
     p.add_argument("--plot", action="store_true", help="draw ASCII charts")
     p.add_argument("--csv", default=None, help="write per-factor rows to CSV")
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig6", help="job sets vs load under DEQ")
     p.add_argument("--sets", type=int, default=200, help="number of job sets")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (0 = all cores); results are "
+        "bit-identical at any worker count",
+    )
     p.add_argument("--bins", type=int, default=12)
     p.add_argument("--plot", action="store_true", help="draw ASCII charts")
     p.add_argument("--csv", default=None, help="write per-set rows to CSV")
@@ -389,7 +484,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scale", choices=("smoke", "reduced", "full"), default="reduced"
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes for the experiments (0 = all "
+        "cores); the JSON artifacts are bit-identical at any job count",
+    )
     p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the canonical perf scenarios, write BENCH_<rev>.json, "
+        "and gate against the committed baseline",
+    )
+    p.add_argument("--scale", choices=("smoke", "default"), default="default")
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    p.add_argument("--out", default=None, help="directory for BENCH_<rev>.json")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to gate against (default: the committed "
+        "benchmarks/BENCH_baseline[_<scale>].json; skipped when missing)",
+    )
+    p.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="fail when a scenario's normalized time regresses more than "
+        "this fraction vs the baseline",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write this run as the new baseline file instead of gating",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "audit",

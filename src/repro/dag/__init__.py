@@ -12,10 +12,13 @@ from .builders import (
     wide_level,
 )
 from .graph import Dag, DagValidationError
+from .structure import LevelStructure, analyze_level_structure
 
 __all__ = [
     "Dag",
     "DagValidationError",
+    "LevelStructure",
+    "analyze_level_structure",
     "JobCharacteristics",
     "characteristics",
     "greedy_time_lower_bound",

@@ -15,9 +15,12 @@ The class is deliberately small and array-backed: the execution engines in
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .structure import LevelStructure
 
 __all__ = ["Dag", "DagValidationError"]
 
@@ -45,6 +48,10 @@ class Dag:
         "_levels",
         "_topo_order",
         "_level_sizes",
+        "_in_degrees",
+        "_sources",
+        "_level_list",
+        "_structure",
     )
 
     def __init__(self, num_tasks: int, edges: Iterable[tuple[int, int]]):
@@ -65,6 +72,11 @@ class Dag:
         self._topo_order, self._levels = self._toposort_and_levels()
         sizes = np.bincount(self._levels, minlength=self.num_levels + 1)
         self._level_sizes = sizes[1:]  # drop unused level 0 slot
+        # lazily-computed, cached derived structure (see the properties below)
+        self._in_degrees: np.ndarray | None = None
+        self._sources: tuple[int, ...] | None = None
+        self._level_list: tuple[int, ...] | None = None
+        self._structure: "LevelStructure | None" = None
 
     # ------------------------------------------------------------------
 
@@ -136,10 +148,74 @@ class Dag:
         return v
 
     def sources(self) -> list[int]:
-        return [t for t in range(self.num_tasks) if not self._preds[t]]
+        return list(self.source_tasks)
 
     def sinks(self) -> list[int]:
         return [t for t in range(self.num_tasks) if not self._succs[t]]
+
+    # ------------------------------------------------------------------
+    # Cached derived structure (computed lazily, once per dag)
+    # ------------------------------------------------------------------
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every task (read-only view, cached).
+
+        Executors seed their mutable ready-counting state from a copy of
+        this array instead of re-walking the predecessor lists on every
+        construction — sweeps re-running one dag pay the O(V) cost once.
+        """
+        if self._in_degrees is None:
+            self._in_degrees = np.fromiter(
+                (len(p) for p in self._preds), dtype=np.int64, count=self.num_tasks
+            )
+        v = self._in_degrees.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def source_tasks(self) -> tuple[int, ...]:
+        """Tasks with no predecessors, ascending (cached)."""
+        if self._sources is None:
+            self._sources = tuple(
+                t for t in range(self.num_tasks) if not self._preds[t]
+            )
+        return self._sources
+
+    @property
+    def level_list(self) -> tuple[int, ...]:
+        """1-based level of every task as plain ints (cached).
+
+        The execution engines' per-task hot loops index this tuple instead
+        of paying numpy scalar-indexing overhead on :attr:`levels`.
+        """
+        if self._level_list is None:
+            self._level_list = tuple(int(x) for x in self._levels)
+        return self._level_list
+
+    @property
+    def successor_lists(self) -> list[list[int]]:
+        """Adjacency lists of every task's successors, indexed by task id.
+
+        Direct list-of-lists access for the engines' per-task hot loops —
+        bypasses the per-call overhead of :meth:`successors`.  Callers must
+        treat the lists as read-only.
+        """
+        return self._succs
+
+    @property
+    def structure(self) -> "LevelStructure":
+        """Level-major structural analysis (cached).
+
+        Computed on first access by
+        :func:`repro.dag.structure.analyze_level_structure`; the batched
+        execution kernel consults it to decide whether it can run this dag.
+        """
+        if self._structure is None:
+            from .structure import analyze_level_structure
+
+            self._structure = analyze_level_structure(self)
+        return self._structure
 
     # ------------------------------------------------------------------
     # Job characteristics (paper Section 1)

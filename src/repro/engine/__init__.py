@@ -1,7 +1,9 @@
-"""Execution engines: the step-accurate explicit-dag reference engine and the
-closed-form fork-join (phased) engine."""
+"""Execution engines: the step-accurate explicit-dag reference engine, the
+batched level-major kernel for counts-determined dags, and the closed-form
+fork-join (phased) engine."""
 
 from .base import JobExecutor, QuantumExecution
+from .batched import BatchedDagExecutor, UnsupportedDagStructure, supports_batched
 from .explicit import Discipline, ExplicitExecutor
 from .phased import Phase, PhasedExecutor, PhasedJob
 
@@ -9,6 +11,9 @@ __all__ = [
     "JobExecutor",
     "QuantumExecution",
     "ExplicitExecutor",
+    "BatchedDagExecutor",
+    "UnsupportedDagStructure",
+    "supports_batched",
     "Discipline",
     "Phase",
     "PhasedJob",

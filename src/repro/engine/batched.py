@@ -1,0 +1,293 @@
+"""Batched level-major execution of explicit dags — the vectorized kernel.
+
+:class:`BatchedDagExecutor` executes a whole scheduling quantum of B-Greedy's
+breadth-first discipline in O(segments touched) integer arithmetic instead of
+the reference engine's O(tasks) heap pops.  It applies to dags whose level
+structure is *counts-determined* (every level a chain or barrier level — see
+:mod:`repro.dag.structure`), which covers all of the paper's workloads: the
+scheduler's per-step decisions then depend only on per-level completion
+counts, and levels drain in ascending task-id order, so the engine can track
+``(frontier level, tasks done on it)`` instead of a ready heap.
+
+Why the arithmetic is exact
+---------------------------
+Within a segment (a maximal chain-linked run of ``k`` levels of constant
+width ``w``), breadth-first keeps the completed region level-major with at
+most one partially-complete level, and the ready count is
+
+- ``w`` while the frontier is not the segment's last level (the wavefront:
+  remaining frontier tasks plus the next level's already-enabled prefix), and
+- ``remaining tasks`` on the last level (the next segment is blocked behind
+  the barrier).
+
+So per-step progress is ``min(a, w)`` in the first regime and
+``min(a, remaining)`` in the second — the same two-regime closed form the
+:class:`~repro.engine.phased.PhasedExecutor` uses per phase, applied per
+segment.  The test suite cross-validates this kernel step-for-step and
+schedule-for-schedule against :class:`~repro.engine.explicit.ExplicitExecutor`
+(see ``tests/test_engine_batched.py``).
+
+``record_schedule=True`` reconstructs the exact per-step task lists from the
+level-rank arrays (levels drain as ascending-id prefixes) — byte-identical to
+the reference engine's recording and replayable through
+:func:`repro.verify.auditor.audit_dag_schedule`.  ``strict=True`` re-validates
+every closed-form quantum against the invariants the arithmetic guarantees,
+like the phased engine's strict mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..dag.structure import LevelStructure
+from ..verify.violations import (
+    InvariantError,
+    V_IDLE_WITH_READY_TASKS,
+    V_SPAN_EXCEEDS_STEPS,
+    V_WORK_EXCEEDS_CAPACITY,
+    Violation,
+)
+from .base import JobExecutor, QuantumExecution
+
+__all__ = ["BatchedDagExecutor", "UnsupportedDagStructure", "supports_batched"]
+
+
+class UnsupportedDagStructure(ValueError):
+    """The dag's level structure is not counts-determined (see
+    :mod:`repro.dag.structure`); use the reference engine instead."""
+
+
+def supports_batched(dag: Dag, discipline: str = "breadth-first") -> bool:
+    """Whether :class:`BatchedDagExecutor` can execute ``dag`` under
+    ``discipline`` — true only for breadth-first on level-major dags."""
+    return discipline == "breadth-first" and dag.structure.level_major
+
+
+class BatchedDagExecutor(JobExecutor):
+    """Closed-form breadth-first execution state of a level-major dag.
+
+    Raises :class:`UnsupportedDagStructure` when the dag's level structure
+    does not permit counts-determined execution.  Results (work, span,
+    steps, ready counts, recorded schedules) are bit-identical to
+    :class:`~repro.engine.explicit.ExplicitExecutor` with the
+    ``"breadth-first"`` discipline.
+    """
+
+    __slots__ = (
+        "_dag",
+        "_struct",
+        "_frontier",
+        "_done_on_frontier",
+        "_remaining",
+        "_strict",
+        "schedule",
+    )
+
+    def __init__(
+        self,
+        dag: Dag,
+        *,
+        strict: bool = False,
+        record_schedule: bool = False,
+    ):
+        structure = dag.structure
+        if not structure.level_major:
+            raise UnsupportedDagStructure(
+                f"dag is not level-major: {structure.reject_reason}"
+            )
+        self._dag = dag
+        self._struct: LevelStructure = structure
+        self._frontier = 0  # 0-indexed level currently draining
+        self._done_on_frontier = 0  # tasks completed on the frontier level
+        self._remaining = dag.num_tasks
+        self._strict = bool(strict)
+        self.schedule: list[tuple[int, list[int]]] | None = (
+            [] if record_schedule else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def execute_quantum(self, allotment: int, max_steps: int) -> QuantumExecution:
+        self._check_quantum_args(allotment, max_steps)
+        if self.schedule is not None:
+            return self._execute_recording(allotment, max_steps)
+        s = self._struct
+        a = allotment
+        steps_left = max_steps
+        work = 0
+        span = 0.0
+        while steps_left > 0 and self._remaining > 0:
+            f = self._frontier
+            seg = int(s.seg_of[f])
+            start = int(s.seg_start[seg])
+            end = int(s.seg_end[seg])
+            w = int(s.widths[f])
+            done = (f - start) * w + self._done_on_frontier
+            total = (end - start + 1) * w
+            boundary = total - w  # tasks strictly before the last level
+            if done < boundary:
+                # Regime 1: a deeper level's enabled prefix keeps the
+                # wavefront full, so the scheduler sustains min(a, w)/step.
+                rate = min(a, w)
+                need = -(-(boundary - done) // rate)  # ceil division
+                use = min(steps_left, need)
+                delta = rate * use
+            else:
+                # Regime 2: only the segment's last level remains; the ready
+                # count shrinks with the remaining tasks.
+                r = total - done
+                need = -(-r // a)
+                use = min(steps_left, need)
+                delta = min(a * use, r)
+            done += delta
+            work += delta
+            span += delta / w
+            steps_left -= use
+            self._remaining -= delta
+            if done == total:
+                self._frontier = end + 1
+                self._done_on_frontier = 0
+            else:
+                self._frontier = start + done // w
+                self._done_on_frontier = done % w
+        steps_used = max_steps - steps_left
+        if self._strict:
+            self._check_quantum(work, span, steps_used, a)
+        return QuantumExecution(
+            work=work,
+            span=span,
+            steps=steps_used,
+            finished=self._remaining == 0,
+        )
+
+    def _execute_recording(
+        self, allotment: int, max_steps: int
+    ) -> QuantumExecution:
+        """Per-step path used when a schedule is recorded: the same counts
+        model advanced one step at a time, emitting the exact task ids (each
+        level drains as an ascending-id prefix)."""
+        s = self._struct
+        a = allotment
+        steps = 0
+        work = 0
+        span = 0.0
+        assert self.schedule is not None
+        while steps < max_steps and self._remaining > 0:
+            f = self._frontier
+            seg = int(s.seg_of[f])
+            end = int(s.seg_end[seg])
+            w = int(s.widths[f])
+            x = self._done_on_frontier
+            take_f = min(a, w - x)
+            tasks = s.level_tasks[f][x : x + take_f].tolist()
+            n = take_f
+            if n < a and f < end:
+                # Spill into the next level's enabled prefix (its first x
+                # ranks are ready: their chain parents completed earlier).
+                spill = min(a - n, x)
+                tasks.extend(s.level_tasks[f + 1][:spill].tolist())
+                n += spill
+            self.schedule.append((a, tasks))
+            steps += 1
+            work += n
+            span += n / w
+            self._remaining -= n
+            done = x + take_f
+            if done == w:
+                if f == end:
+                    self._frontier = f + 1
+                    self._done_on_frontier = 0
+                else:
+                    self._frontier = f + 1
+                    self._done_on_frontier = n - take_f
+            else:
+                self._done_on_frontier = done
+        if self._strict:
+            self._check_quantum(work, span, steps, a)
+        return QuantumExecution(
+            work=work, span=span, steps=steps, finished=self._remaining == 0
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_quantum(
+        self, work: int, span: float, steps: int, allotment: int
+    ) -> None:
+        """Re-validate a closed-form quantum against B-Greedy semantics
+        (strict mode) — same guarantees the phased engine re-checks."""
+        if work > allotment * steps:
+            raise InvariantError(
+                Violation(
+                    V_WORK_EXCEEDS_CAPACITY,
+                    f"batched kernel produced T1(q)={work} > a*steps="
+                    f"{allotment * steps}",
+                )
+            )
+        if work < steps:
+            raise InvariantError(
+                Violation(
+                    V_IDLE_WITH_READY_TASKS,
+                    f"batched kernel produced T1(q)={work} < steps={steps}; "
+                    "greedy completes at least one task per step",
+                )
+            )
+        if span > steps + 1e-9:
+            raise InvariantError(
+                Violation(
+                    V_SPAN_EXCEEDS_STEPS,
+                    f"batched kernel produced Tinf(q)={span} > steps={steps}; "
+                    "breadth-first advances at most one level per step",
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def total_work(self) -> int:
+        return self._dag.work
+
+    @property
+    def total_span(self) -> int:
+        return self._dag.span
+
+    @property
+    def remaining_work(self) -> int:
+        return self._remaining
+
+    @property
+    def dag(self) -> Dag:
+        return self._dag
+
+    @property
+    def discipline(self) -> str:
+        return "breadth-first"
+
+    def completed_by_level(self) -> np.ndarray:
+        """Cumulative completed-task count per dag level (index 0 = level 1)
+        — identical staircase to the reference engine's."""
+        s = self._struct
+        out = s.widths.copy()
+        f = self._frontier
+        if f < s.num_levels:
+            out[f] = self._done_on_frontier
+            out[f + 1 :] = 0
+        return out
+
+    @property
+    def current_parallelism(self) -> float:
+        """Exact ready-task count, matching the reference engine's heap size:
+        ``w`` while the frontier is mid-segment (wavefront full), else the
+        frontier level's remaining tasks."""
+        if self.finished:
+            return 0.0
+        s = self._struct
+        f = self._frontier
+        w = int(s.widths[f])
+        if f < int(s.seg_end[int(s.seg_of[f])]):
+            return float(w)
+        return float(w - self._done_on_frontier)

@@ -76,26 +76,27 @@ class ExplicitExecutor(JobExecutor):
         self.schedule: list[tuple[int, list[int]]] | None = (
             [] if record_schedule else None
         )
-        self._indegree = np.fromiter(
-            (dag.in_degree(t) for t in range(dag.num_tasks)),
-            dtype=np.int64,
-            count=dag.num_tasks,
-        )
+        # Mutable per-run state lives in plain python lists: the engine's
+        # per-task loops dominate its runtime, and python-int list indexing
+        # is several times cheaper than numpy scalar indexing.
+        self._indegree: list[int] = dag.in_degrees.tolist()
+        self._levels: tuple[int, ...] = dag.level_list
+        self._succs: list[list[int]] = dag.successor_lists
         self._remaining = dag.num_tasks
         self._level_sizes = dag.level_sizes
-        self._completed_cum = np.zeros(dag.num_levels + 1, dtype=np.int64)
+        self._completed_cum: list[int] = [0] * (dag.num_levels + 1)
         # ready structures: a heap of (level, task) for breadth-first,
         # a FIFO deque for plain greedy
         self._heap: list[tuple[int, int]] = []
         self._fifo: deque[int] = deque()
-        for t in dag.sources():
+        for t in dag.source_tasks:
             self._push_ready(t)
 
     # ------------------------------------------------------------------
 
     def _push_ready(self, task: int) -> None:
         if self._discipline == "breadth-first":
-            heapq.heappush(self._heap, (self._dag.level_of(task), task))
+            heapq.heappush(self._heap, (self._levels[task], task))
         else:
             self._fifo.append(task)
 
@@ -111,11 +112,36 @@ class ExplicitExecutor(JobExecutor):
 
     # ------------------------------------------------------------------
 
+    def _drain_ready(self) -> list[int]:
+        """Pop *every* ready task in priority order in one pass.
+
+        Equivalent to calling :meth:`_pop_ready` until empty — popping a
+        binary heap dry yields sorted order, and the ``(level, task)`` keys
+        are unique — but a single ``sort``/``reverse`` instead of O(n log n)
+        sift-downs through method-call overhead.
+        """
+        if self._discipline == "breadth-first":
+            heap = self._heap
+            heap.sort()
+            scheduled = [t for _, t in heap]
+            heap.clear()
+            return scheduled
+        scheduled = list(self._fifo)
+        if self._discipline == "lifo":
+            scheduled.reverse()
+        self._fifo.clear()
+        return scheduled
+
     def execute_quantum(self, allotment: int, max_steps: int) -> QuantumExecution:
         self._check_quantum_args(allotment, max_steps)
-        dag = self._dag
-        levels = dag.levels
-        completed_per_level = np.zeros(dag.num_levels + 1, dtype=np.int64)
+        # Local bindings for the per-task hot loop.
+        levels = self._levels
+        succs = self._succs
+        indegree = self._indegree
+        completed_cum = self._completed_cum
+        push_ready = self._push_ready
+        pop_ready = self._pop_ready
+        completed_per_level = [0] * (self._dag.num_levels + 1)
         work = 0
         steps = 0
         while steps < max_steps and self._remaining > 0:
@@ -129,7 +155,10 @@ class ExplicitExecutor(JobExecutor):
                         "(an unfinished job always has a ready task)",
                     )
                 )
-            scheduled = [self._pop_ready() for _ in range(n)]
+            if n == ready_before:
+                scheduled = self._drain_ready()
+            else:
+                scheduled = [pop_ready() for _ in range(n)]
             if self._strict:
                 self._check_step(scheduled, allotment, ready_before)
             if self.schedule is not None:
@@ -137,17 +166,24 @@ class ExplicitExecutor(JobExecutor):
             steps += 1
             work += n
             self._remaining -= n
+            # One pass over the scheduled batch: count the completion and
+            # retire the task's out-edges together.
             for t in scheduled:
-                completed_per_level[levels[t]] += 1
-                self._completed_cum[levels[t]] += 1
-                for child in dag.successors(t):
-                    self._indegree[child] -= 1
-                    if self._indegree[child] == 0:
-                        self._push_ready(child)
+                lvl = levels[t]
+                completed_per_level[lvl] += 1
+                completed_cum[lvl] += 1
+                for child in succs[t]:
+                    d = indegree[child] - 1
+                    indegree[child] = d
+                    if d == 0:
+                        push_ready(child)
         if self._strict and self._remaining == 0:
             self._check_completion()
         span = float(
-            np.sum(completed_per_level[1:] / self._level_sizes.astype(np.float64))
+            np.sum(
+                np.asarray(completed_per_level[1:], dtype=np.float64)
+                / self._level_sizes
+            )
         )
         return QuantumExecution(
             work=work, span=span, steps=steps, finished=self._remaining == 0
@@ -174,12 +210,12 @@ class ExplicitExecutor(JobExecutor):
                 raise InvariantError(
                     Violation(
                         V_PRECEDENCE,
-                        f"task {t} scheduled with {int(self._indegree[t])} "
+                        f"task {t} scheduled with {self._indegree[t]} "
                         "incomplete predecessor(s)",
                     )
                 )
         if self._discipline == "breadth-first" and self._heap:
-            deepest = max(self._dag.level_of(t) for t in scheduled)
+            deepest = max(self._levels[t] for t in scheduled)
             shallowest_waiting = self._heap[0][0]
             if shallowest_waiting < deepest:
                 raise InvariantError(
@@ -192,7 +228,7 @@ class ExplicitExecutor(JobExecutor):
 
     def _check_completion(self) -> None:
         """Validate the finished state (strict mode): every task executed."""
-        executed = int(self._completed_cum.sum())
+        executed = sum(self._completed_cum)
         if executed != self._dag.num_tasks or self._num_ready() != 0:
             raise InvariantError(
                 Violation(
@@ -227,8 +263,7 @@ class ExplicitExecutor(JobExecutor):
         a deeper level only accumulates completions once every shallower
         level is nearly drained — the invariant behind B-Greedy's precise
         parallelism measurement."""
-        v = self._completed_cum[1:].copy()
-        return v
+        return np.asarray(self._completed_cum[1:], dtype=np.int64)
 
     @property
     def dag(self) -> Dag:

@@ -27,6 +27,7 @@ from ..core.agreedy import AGreedy
 from ..sim.single import simulate_job
 from ..workloads.forkjoin import ForkJoinGenerator
 from .common import default_rng_seed
+from .parallel import map_deterministic
 
 if TYPE_CHECKING:
     from ..sim.stats import ConfidenceInterval
@@ -98,6 +99,67 @@ class Fig5Result:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class _Fig5Task:
+    """One transition factor's worth of work — the parallel fan-out unit."""
+
+    factor: int
+    jobs_per_factor: int
+    processors: int
+    quantum_length: int
+    convergence_rate: float
+    responsiveness: float
+    utilization_threshold: float
+    seed: int
+
+
+def _fig5_factor_point(task: _Fig5Task) -> Fig5Point:
+    """Simulate one transition factor's jobs and average them into a point.
+
+    Module-level and seeded from the ``[seed, factor]`` child stream so the
+    sweep produces bit-identical numbers at any worker count (and a factor's
+    jobs do not depend on which other factors the sweep includes).
+    """
+    rng = np.random.default_rng([task.seed, task.factor])
+    generator = ForkJoinGenerator(task.quantum_length)
+    abg_policy = AControl(task.convergence_rate)
+    agreedy_policy = AGreedy(task.responsiveness, task.utilization_threshold)
+    abg_time, ag_time = [], []
+    abg_waste, ag_waste = [], []
+    t_ratios, w_ratios = [], []
+    for _ in range(task.jobs_per_factor):
+        job = generator.generate(rng, task.factor)
+        t_abg = simulate_job(
+            job, abg_policy, task.processors, quantum_length=task.quantum_length
+        )
+        t_ag = simulate_job(
+            job, agreedy_policy, task.processors, quantum_length=task.quantum_length
+        )
+        span = job.span
+        work = job.work
+        abg_time.append(t_abg.running_time / span)
+        ag_time.append(t_ag.running_time / span)
+        abg_waste.append(t_abg.total_waste / work)
+        ag_waste.append(t_ag.total_waste / work)
+        t_ratios.append(t_ag.running_time / t_abg.running_time)
+        # waste is strictly positive for any adaptive run here (the first
+        # quantum alone under-allots), but guard the ratio anyway
+        w_ratios.append(
+            t_ag.total_waste / t_abg.total_waste
+            if t_abg.total_waste > 0
+            else float("inf")
+        )
+    return Fig5Point(
+        transition_factor=int(task.factor),
+        abg_time_norm=float(np.mean(abg_time)),
+        agreedy_time_norm=float(np.mean(ag_time)),
+        abg_waste_norm=float(np.mean(abg_waste)),
+        agreedy_waste_norm=float(np.mean(ag_waste)),
+        time_ratio=float(np.mean(t_ratios)),
+        waste_ratio=float(np.mean(w_ratios)),
+    )
+
+
 def run_fig5(
     *,
     factors: Sequence[int] = tuple(range(2, 101)),
@@ -108,49 +170,30 @@ def run_fig5(
     responsiveness: float = 2.0,
     utilization_threshold: float = 0.8,
     seed: int = default_rng_seed,
+    workers: int = 1,
 ) -> Fig5Result:
-    """Run the Figure 5 sweep and return one point per transition factor."""
+    """Run the Figure 5 sweep and return one point per transition factor.
+
+    Each factor is an independent work unit with its own ``[seed, factor]``
+    random stream; ``workers > 1`` fans the factors out over a process pool
+    with bit-identical results (``0`` = all cores).
+    """
     if jobs_per_factor < 1:
         raise ValueError("need at least one job per factor")
-    rng = np.random.default_rng(seed)
-    generator = ForkJoinGenerator(quantum_length)
-    abg_policy = AControl(convergence_rate)
-    agreedy_policy = AGreedy(responsiveness, utilization_threshold)
-
-    points: list[Fig5Point] = []
-    for c in factors:
-        abg_time, ag_time = [], []
-        abg_waste, ag_waste = [], []
-        t_ratios, w_ratios = [], []
-        for _ in range(jobs_per_factor):
-            job = generator.generate(rng, c)
-            t_abg = simulate_job(job, abg_policy, processors, quantum_length=quantum_length)
-            t_ag = simulate_job(job, agreedy_policy, processors, quantum_length=quantum_length)
-            span = job.span
-            work = job.work
-            abg_time.append(t_abg.running_time / span)
-            ag_time.append(t_ag.running_time / span)
-            abg_waste.append(t_abg.total_waste / work)
-            ag_waste.append(t_ag.total_waste / work)
-            t_ratios.append(t_ag.running_time / t_abg.running_time)
-            # waste is strictly positive for any adaptive run here (the first
-            # quantum alone under-allots), but guard the ratio anyway
-            w_ratios.append(
-                t_ag.total_waste / t_abg.total_waste
-                if t_abg.total_waste > 0
-                else float("inf")
-            )
-        points.append(
-            Fig5Point(
-                transition_factor=int(c),
-                abg_time_norm=float(np.mean(abg_time)),
-                agreedy_time_norm=float(np.mean(ag_time)),
-                abg_waste_norm=float(np.mean(abg_waste)),
-                agreedy_waste_norm=float(np.mean(ag_waste)),
-                time_ratio=float(np.mean(t_ratios)),
-                waste_ratio=float(np.mean(w_ratios)),
-            )
+    tasks = [
+        _Fig5Task(
+            factor=int(c),
+            jobs_per_factor=jobs_per_factor,
+            processors=processors,
+            quantum_length=quantum_length,
+            convergence_rate=convergence_rate,
+            responsiveness=responsiveness,
+            utilization_threshold=utilization_threshold,
+            seed=seed,
         )
+        for c in factors
+    ]
+    points = map_deterministic(_fig5_factor_point, tasks, workers=workers)
     return Fig5Result(
         points=tuple(points),
         jobs_per_factor=jobs_per_factor,

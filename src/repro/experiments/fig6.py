@@ -33,6 +33,7 @@ from ..sim.metrics import makespan_lower_bound, mean_response_time_lower_bound
 from ..sim.multi import simulate_job_set
 from ..workloads.jobsets import JobSetGenerator, JobSetSample
 from .common import default_rng_seed
+from .parallel import map_deterministic
 
 __all__ = ["Fig6Point", "Fig6Result", "LoadBin", "run_fig6", "bin_by_load"]
 
@@ -110,6 +111,57 @@ def _run_set(
     return float(result.makespan), float(result.mean_response_time)
 
 
+@dataclass(frozen=True, slots=True)
+class _Fig6Task:
+    """One job set's worth of work — the parallel fan-out unit."""
+
+    index: int
+    load_range: tuple[float, float]
+    processors: int
+    quantum_length: int
+    convergence_rate: float
+    responsiveness: float
+    utilization_threshold: float
+    factor_range: tuple[int, int]
+    seed: int
+
+
+def _fig6_set_point(task: _Fig6Task) -> Fig6Point:
+    """Generate and simulate one job set under both schedulers.
+
+    Module-level and seeded from the ``[seed, index]`` child stream so the
+    sweep produces bit-identical numbers at any worker count.
+    """
+    rng = np.random.default_rng([task.seed, task.index])
+    set_gen = JobSetGenerator(
+        task.processors,
+        quantum_length=task.quantum_length,
+        factor_range=task.factor_range,
+    )
+    target = float(rng.uniform(task.load_range[0], task.load_range[1]))
+    sample = set_gen.generate(rng, target)
+    m_star = makespan_lower_bound(
+        sample.works, sample.spans, [0] * len(sample.jobs), task.processors
+    )
+    r_star = mean_response_time_lower_bound(
+        sample.works, sample.spans, task.processors
+    )
+    abg_policy = AControl(task.convergence_rate)
+    agreedy_policy = AGreedy(task.responsiveness, task.utilization_threshold)
+    m_abg, r_abg = _run_set(sample, abg_policy, task.processors, task.quantum_length)
+    m_ag, r_ag = _run_set(sample, agreedy_policy, task.processors, task.quantum_length)
+    return Fig6Point(
+        load=sample.load,
+        num_jobs=len(sample.jobs),
+        abg_makespan_norm=m_abg / m_star,
+        agreedy_makespan_norm=m_ag / m_star,
+        abg_response_norm=r_abg / r_star,
+        agreedy_response_norm=r_ag / r_star,
+        makespan_ratio=m_ag / m_abg,
+        response_ratio=r_ag / r_abg,
+    )
+
+
 def run_fig6(
     *,
     num_sets: int = 200,
@@ -121,42 +173,34 @@ def run_fig6(
     utilization_threshold: float = 0.8,
     factor_range: tuple[int, int] = (2, 100),
     seed: int = default_rng_seed,
+    workers: int = 1,
 ) -> Fig6Result:
     """Run the Figure 6 sweep: ``num_sets`` batched job sets with target
-    loads drawn uniformly from ``load_range``."""
+    loads drawn uniformly from ``load_range``.
+
+    Each set is an independent work unit with its own ``[seed, index]``
+    random stream; ``workers > 1`` fans the sets out over a process pool
+    with bit-identical results (``0`` = all cores).
+    """
     if num_sets < 1:
         raise ValueError("need at least one job set")
     if not (0 < load_range[0] <= load_range[1]):
         raise ValueError("invalid load range")
-    rng = np.random.default_rng(seed)
-    set_gen = JobSetGenerator(
-        processors, quantum_length=quantum_length, factor_range=factor_range
-    )
-    abg_policy = AControl(convergence_rate)
-    agreedy_policy = AGreedy(responsiveness, utilization_threshold)
-
-    points: list[Fig6Point] = []
-    for _ in range(num_sets):
-        target = float(rng.uniform(load_range[0], load_range[1]))
-        sample = set_gen.generate(rng, target)
-        m_star = makespan_lower_bound(
-            sample.works, sample.spans, [0] * len(sample.jobs), processors
+    tasks = [
+        _Fig6Task(
+            index=i,
+            load_range=load_range,
+            processors=processors,
+            quantum_length=quantum_length,
+            convergence_rate=convergence_rate,
+            responsiveness=responsiveness,
+            utilization_threshold=utilization_threshold,
+            factor_range=factor_range,
+            seed=seed,
         )
-        r_star = mean_response_time_lower_bound(sample.works, sample.spans, processors)
-        m_abg, r_abg = _run_set(sample, abg_policy, processors, quantum_length)
-        m_ag, r_ag = _run_set(sample, agreedy_policy, processors, quantum_length)
-        points.append(
-            Fig6Point(
-                load=sample.load,
-                num_jobs=len(sample.jobs),
-                abg_makespan_norm=m_abg / m_star,
-                agreedy_makespan_norm=m_ag / m_star,
-                abg_response_norm=r_abg / r_star,
-                agreedy_response_norm=r_ag / r_star,
-                makespan_ratio=m_ag / m_abg,
-                response_ratio=r_ag / r_abg,
-            )
-        )
+        for i in range(num_sets)
+    ]
+    points = map_deterministic(_fig6_set_point, tasks, workers=workers)
     points.sort(key=lambda p: p.load)
     return Fig6Result(
         points=tuple(points),

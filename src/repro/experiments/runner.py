@@ -41,6 +41,7 @@ from . import (
     run_theorem1,
 )
 from .common import ExperimentTable, format_series, format_table
+from .parallel import map_deterministic
 
 __all__ = ["ExperimentOutcome", "RunnerResult", "run_everything", "SCALES"]
 
@@ -80,41 +81,46 @@ def _to_records(result: Any) -> list[dict[str, Any]]:
     raise TypeError(f"cannot serialize experiment result of type {type(result)!r}")
 
 
-def _experiments(scale: str) -> list[tuple[str, Callable[[], Any]]]:
+#: One experiment: ``(name, driver, kwargs)``.  Everything is module-level
+#: and picklable so the list can fan out over a process pool.
+Experiment = tuple[str, Callable[..., Any], dict[str, Any]]
+
+
+def _experiments(scale: str) -> list[Experiment]:
     if scale == "smoke":
-        fig5_kwargs = {"factors": (2, 30), "jobs_per_factor": 2}
-        fig6_kwargs = {"num_sets": 4}
+        fig5_kwargs: dict[str, Any] = {"factors": (2, 30), "jobs_per_factor": 2}
+        fig6_kwargs: dict[str, Any] = {"num_sets": 4}
         small: dict[str, Any] = {"jobs_per_factor": 1, "factors": (3,)}
         return [
-            ("fig1", run_fig1),
-            ("fig2", run_fig2),
-            ("fig4", run_fig4),
-            ("fig5", lambda: run_fig5(**fig5_kwargs)),
-            ("fig6", lambda: run_fig6(**fig6_kwargs)),
-            ("theorem1", lambda: run_theorem1(parallelisms=(5,), rates=(0.2,))),
-            ("bounds", lambda: run_bounds_check(factors=(2,), jobs_per_factor=1)),
-            ("ablation-rate", lambda: run_rate_ablation(rates=(0.0, 0.4), **small)),
-            (
-                "ablation-quantum",
-                lambda: run_quantum_ablation(lengths=(500,), **small),
-            ),
-            ("ablation-discipline", lambda: run_discipline_ablation(num_random_dags=1)),
+            ("fig1", run_fig1, {}),
+            ("fig2", run_fig2, {}),
+            ("fig4", run_fig4, {}),
+            ("fig5", run_fig5, fig5_kwargs),
+            ("fig6", run_fig6, fig6_kwargs),
+            ("theorem1", run_theorem1, {"parallelisms": (5,), "rates": (0.2,)}),
+            ("bounds", run_bounds_check, {"factors": (2,), "jobs_per_factor": 1}),
+            ("ablation-rate", run_rate_ablation, {"rates": (0.0, 0.4), **small}),
+            ("ablation-quantum", run_quantum_ablation, {"lengths": (500,), **small}),
+            ("ablation-discipline", run_discipline_ablation, {"num_random_dags": 1}),
             (
                 "ablation-allocator",
-                lambda: run_allocator_ablation(num_sets=1, target_load=0.5),
+                run_allocator_ablation,
+                {"num_sets": 1, "target_load": 0.5},
             ),
-            ("stealing", lambda: run_stealing_compare(num_jobs=1, iterations=1)),
+            ("stealing", run_stealing_compare, {"num_jobs": 1, "iterations": 1}),
             (
                 "overhead",
-                lambda: run_overhead_study(costs=(0.0, 10.0), factors=(5,), jobs_per_factor=1),
+                run_overhead_study,
+                {"costs": (0.0, 10.0), "factors": (5,), "jobs_per_factor": 1},
             ),
             (
                 "controllers",
-                lambda: run_controller_compare(parallelisms=(2, 8), num_quanta=8),
+                run_controller_compare,
+                {"parallelisms": (2, 8), "num_quanta": 8},
             ),
-            ("arrivals", lambda: run_arrivals(interarrivals=(1000.0,), jobs_per_set=3)),
-            ("characteristics", lambda: run_characteristics_study(quantum_length=200)),
-            ("trim", lambda: run_trim_demo(peak_width=16, quantum_length=200)),
+            ("arrivals", run_arrivals, {"interarrivals": (1000.0,), "jobs_per_set": 3}),
+            ("characteristics", run_characteristics_study, {"quantum_length": 200}),
+            ("trim", run_trim_demo, {"peak_width": 16, "quantum_length": 200}),
         ]
     if scale == "reduced":
         fig5_kwargs = {"factors": tuple(range(2, 101, 7)), "jobs_per_factor": 20}
@@ -125,24 +131,33 @@ def _experiments(scale: str) -> list[tuple[str, Callable[[], Any]]]:
     else:
         raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
     return [
-        ("fig1", run_fig1),
-        ("fig2", run_fig2),
-        ("fig4", run_fig4),
-        ("fig5", lambda: run_fig5(**fig5_kwargs)),
-        ("fig6", lambda: run_fig6(**fig6_kwargs)),
-        ("theorem1", run_theorem1),
-        ("bounds", run_bounds_check),
-        ("ablation-rate", run_rate_ablation),
-        ("ablation-quantum", run_quantum_ablation),
-        ("ablation-discipline", run_discipline_ablation),
-        ("ablation-allocator", run_allocator_ablation),
-        ("stealing", run_stealing_compare),
-        ("overhead", run_overhead_study),
-        ("controllers", run_controller_compare),
-        ("arrivals", run_arrivals),
-        ("characteristics", run_characteristics_study),
-        ("trim", run_trim_demo),
+        ("fig1", run_fig1, {}),
+        ("fig2", run_fig2, {}),
+        ("fig4", run_fig4, {}),
+        ("fig5", run_fig5, fig5_kwargs),
+        ("fig6", run_fig6, fig6_kwargs),
+        ("theorem1", run_theorem1, {}),
+        ("bounds", run_bounds_check, {}),
+        ("ablation-rate", run_rate_ablation, {}),
+        ("ablation-quantum", run_quantum_ablation, {}),
+        ("ablation-discipline", run_discipline_ablation, {}),
+        ("ablation-allocator", run_allocator_ablation, {}),
+        ("stealing", run_stealing_compare, {}),
+        ("overhead", run_overhead_study, {}),
+        ("controllers", run_controller_compare, {}),
+        ("arrivals", run_arrivals, {}),
+        ("characteristics", run_characteristics_study, {}),
+        ("trim", run_trim_demo, {}),
     ]
+
+
+def _execute_experiment(item: Experiment) -> tuple[str, float, list[dict[str, Any]]]:
+    """Run one experiment and normalize its rows (the pool's work unit)."""
+    name, driver, kwargs = item
+    t0 = time.perf_counter()
+    raw = driver(**kwargs)
+    seconds = time.perf_counter() - t0
+    return name, seconds, _to_records(raw)
 
 
 def _markdown_table(name: str, records: list[dict[str, Any]]) -> str:
@@ -182,8 +197,15 @@ def run_everything(
     out_dir: str | Path,
     *,
     scale: str = "reduced",
+    jobs: int = 1,
 ) -> RunnerResult:
-    """Run every experiment, write artifacts, and produce ``REPORT.md``."""
+    """Run every experiment, write artifacts, and produce ``REPORT.md``.
+
+    ``jobs > 1`` fans the (independent, internally-seeded) experiments out
+    over a process pool (``0`` = all cores).  The JSON artifacts are
+    bit-identical at any job count — only the wall-clock timings reported in
+    ``REPORT.md`` vary run to run.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     result = RunnerResult(scale=scale)
@@ -191,11 +213,10 @@ def run_everything(
         f"# ABG reproduction — experiment report (scale: {scale})",
         "",
     ]
-    for name, runner in _experiments(scale):
-        t0 = time.perf_counter()
-        raw = runner()
-        seconds = time.perf_counter() - t0
-        records = _to_records(raw)
+    executed = map_deterministic(
+        _execute_experiment, _experiments(scale), workers=jobs
+    )
+    for name, seconds, records in executed:
         artifact = out / f"{name}.json"
         artifact.write_text(json.dumps(records, indent=1, default=str))
         result.outcomes.append(

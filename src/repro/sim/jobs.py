@@ -10,18 +10,32 @@ simulators; a fresh executor is created per run.  A ready-made
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Literal
 
 from ..core.feedback import FeedbackPolicy
 from ..dag.graph import Dag
 from ..engine.base import JobExecutor
+from ..engine.batched import BatchedDagExecutor, supports_batched
 from ..engine.explicit import Discipline, ExplicitExecutor
 from ..engine.phased import PhasedExecutor, PhasedJob
 
-__all__ = ["JobSpec", "make_executor", "JobDescription", "ExecutorFactory"]
+__all__ = [
+    "JobSpec",
+    "make_executor",
+    "JobDescription",
+    "ExecutorFactory",
+    "EngineChoice",
+]
 
 ExecutorFactory = Callable[[], JobExecutor]
 JobDescription = PhasedJob | Dag | JobExecutor | ExecutorFactory
+
+EngineChoice = Literal["auto", "batched", "reference"]
+"""Engine selection for explicit dags: ``"auto"`` picks the batched
+level-major kernel whenever the dag's structure permits it (and falls back to
+the reference engine otherwise), ``"batched"`` requires it (raising
+:class:`~repro.engine.batched.UnsupportedDagStructure` when it does not
+apply), and ``"reference"`` forces the step-accurate heap engine."""
 
 
 def make_executor(
@@ -29,22 +43,33 @@ def make_executor(
     discipline: Discipline = "breadth-first",
     *,
     strict: bool = False,
+    engine: EngineChoice = "auto",
 ) -> JobExecutor:
     """Create a fresh executor for a job description.
 
     Phased jobs always execute with B-Greedy's breadth-first wavefront (for
-    which the closed form holds); explicit dags honor ``discipline``; a
+    which the closed form holds); explicit dags honor ``discipline`` and
+    ``engine`` (see :data:`EngineChoice` — by default the batched level-major
+    kernel is selected automatically for dags whose structure permits it); a
     zero-argument callable is treated as an executor factory (for custom
     engines such as :class:`~repro.stealing.executor.WorkStealingExecutor`);
     an executor instance is returned as-is (caller owns its freshness).
 
     ``strict=True`` enables the built-in engines' per-step invariant
     checking (:class:`~repro.verify.violations.InvariantError` on breach);
-    custom executors are responsible for their own strictness.
+    with ``engine="auto"`` it also keeps explicit dags on the reference
+    engine, whose strict mode re-validates every individual scheduling
+    decision rather than per-quantum arithmetic.
     """
+    if engine not in ("auto", "batched", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     if isinstance(job, PhasedJob):
         return PhasedExecutor(job, strict=strict)
     if isinstance(job, Dag):
+        if engine == "batched" or (
+            engine == "auto" and not strict and supports_batched(job, discipline)
+        ):
+            return BatchedDagExecutor(job, strict=strict)
         return ExplicitExecutor(job, discipline, strict=strict)
     if isinstance(job, JobExecutor):
         return job
@@ -72,6 +97,7 @@ class JobSpec:
     release_time: int = 0
     discipline: Discipline = "breadth-first"
     job_id: int | None = field(default=None)
+    engine: EngineChoice = "auto"
 
     def __post_init__(self) -> None:
         if self.release_time < 0:

@@ -110,7 +110,9 @@ def simulate_job_set(
         # Admit jobs released at or before this boundary.
         while pending and pending[0][0] <= t:
             rel, jid, spec = pending.pop(0)
-            executor = make_executor(spec.job, spec.discipline, strict=strict)
+            executor = make_executor(
+                spec.job, spec.discipline, strict=strict, engine=spec.engine
+            )
             trace = JobTrace(quantum_length=L, release_time=rel, job_id=jid)
             active[jid] = _ActiveJob(
                 spec=spec,

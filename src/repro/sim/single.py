@@ -21,7 +21,7 @@ from ..core.quantum_policy import FixedQuantumLength, QuantumLengthPolicy
 from ..core.types import JobTrace, QuantumRecord, integer_request
 from ..engine.base import JobExecutor, QuantumExecution
 from ..engine.explicit import Discipline
-from .jobs import JobDescription, make_executor
+from .jobs import EngineChoice, JobDescription, make_executor
 
 __all__ = ["simulate_job", "run_quantum_with_overhead"]
 
@@ -59,6 +59,7 @@ def simulate_job(
     job_id: int | None = None,
     overhead: ReallocationOverhead = NO_OVERHEAD,
     strict: bool = False,
+    engine: EngineChoice = "auto",
 ) -> JobTrace:
     """Run one job to completion and return its full quantum trace.
 
@@ -83,6 +84,10 @@ def simulate_job(
     strict:
         Enable the engines' per-step invariant checking
         (:class:`~repro.verify.violations.InvariantError` on breach).
+    engine:
+        Executor selection for explicit dags (see
+        :data:`~repro.sim.jobs.EngineChoice`); ``"auto"`` uses the batched
+        level-major kernel whenever the dag's structure permits it.
     """
     if isinstance(availability, int):
         availability = ConstantAvailability(availability)
@@ -91,7 +96,7 @@ def simulate_job(
     else:
         qlen_policy = quantum_length
 
-    executor = make_executor(job, discipline, strict=strict)
+    executor = make_executor(job, discipline, strict=strict, engine=engine)
     if executor.finished:
         raise ValueError("job is already finished; pass a fresh executor or description")
     records: list[QuantumRecord] = []

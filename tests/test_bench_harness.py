@@ -1,0 +1,138 @@
+"""The perf-baseline harness: scenario registry, BENCH_<rev>.json round-trip,
+and the regression gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    ScenarioTiming,
+    SCENARIOS,
+    compare_reports,
+    load_report,
+    report_payload,
+    run_bench,
+    scenario_names,
+    write_report,
+)
+
+
+def _timing(name: str, *, seconds: float = 0.05, normalized: float = 1.0) -> ScenarioTiming:
+    return ScenarioTiming(
+        name=name,
+        description="",
+        seconds=seconds,
+        units=100,
+        units_per_second=100 / seconds,
+        normalized=normalized,
+        repeats=1,
+    )
+
+
+def _report(rev: str, normalized: dict[str, float], scale: str = "smoke") -> BenchReport:
+    r = BenchReport(rev=rev, scale=scale, calibration_seconds=0.05)
+    for name, norm in normalized.items():
+        r.timings.append(_timing(name, normalized=norm))
+    return r
+
+
+class TestScenarios:
+    def test_registry_names_unique(self):
+        names = scenario_names()
+        assert len(names) == len(set(names))
+        assert "explicit-reference" in names
+        assert "batched-kernel" in names
+
+    @pytest.mark.slow
+    def test_smoke_run_covers_every_scenario(self):
+        report = run_bench(scale="smoke", repeats=1, rev="test")
+        assert {t.name for t in report.timings} == set(scenario_names())
+        for t in report.timings:
+            assert t.seconds > 0
+            assert t.units > 0
+            assert t.normalized > 0
+
+    @pytest.mark.slow
+    def test_batched_kernel_at_least_5x_reference(self):
+        """The acceptance claim, measured through the harness itself."""
+        report = run_bench(scale="smoke", repeats=3, rev="test")
+        ref = report.timing("explicit-reference")
+        bat = report.timing("batched-kernel")
+        assert ref is not None and bat is not None
+        assert ref.seconds / bat.seconds > 5
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(scale="galactic")
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path: Path):
+        report = _report("abc123", {"x": 1.5, "y": 0.2})
+        path = write_report(report, tmp_path)
+        assert path.name == "BENCH_abc123.json"
+        loaded = load_report(path)
+        assert loaded.rev == report.rev
+        assert loaded.scale == report.scale
+        assert loaded.timings == report.timings
+
+    def test_payload_includes_speedups_vs_baseline(self):
+        base = _report("old", {"x": 2.0})
+        cur = _report("new", {"x": 1.0})
+        payload = report_payload(cur, base)
+        assert payload["baseline_rev"] == "old"
+        assert payload["speedup_vs_baseline"]["x"] == pytest.approx(2.0)
+
+    def test_schema_mismatch_rejected(self, tmp_path: Path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError):
+            load_report(bad)
+
+    def test_committed_baselines_load(self):
+        """The baselines committed in benchmarks/ stay loadable and cover
+        the current scenario registry."""
+        for name in ("BENCH_baseline.json", "BENCH_baseline_smoke.json"):
+            path = Path(__file__).resolve().parents[1] / "benchmarks" / name
+            report = load_report(path)
+            assert {t.name for t in report.timings} == set(scenario_names())
+
+
+class TestRegressionGate:
+    def test_no_regression_within_tolerance(self):
+        base = _report("old", {"x": 1.0})
+        cur = _report("new", {"x": 1.1})
+        assert compare_reports(cur, base, max_regression=0.2) == []
+
+    def test_regression_beyond_gate_flagged(self):
+        base = _report("old", {"x": 1.0})
+        cur = _report("new", {"x": 1.5})
+        regs = compare_reports(cur, base, max_regression=0.2)
+        assert [r.scenario for r in regs] == ["x"]
+        assert regs[0].slowdown == pytest.approx(1.5)
+
+    def test_noise_floor_skips_tiny_timings(self):
+        base = _report("old", {"x": 1.0})
+        cur = _report("new", {"x": 9.0})
+        cur.timings[0] = _timing("x", seconds=0.0001, normalized=9.0)
+        assert compare_reports(cur, base, max_regression=0.2) == []
+
+    def test_new_scenarios_skipped(self):
+        base = _report("old", {"x": 1.0})
+        cur = _report("new", {"x": 1.0, "brand-new": 5.0})
+        assert compare_reports(cur, base) == []
+
+    def test_scale_mismatch_rejected(self):
+        base = _report("old", {"x": 1.0}, scale="default")
+        cur = _report("new", {"x": 1.0}, scale="smoke")
+        with pytest.raises(ValueError):
+            compare_reports(cur, base)
+
+    def test_improvements_never_flagged(self):
+        base = _report("old", {"x": 5.0})
+        cur = _report("new", {"x": 0.5})
+        assert compare_reports(cur, base) == []
