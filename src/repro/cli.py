@@ -13,12 +13,16 @@ Usage::
     python -m repro ablation-rate | ablation-quantum | ablation-discipline |
                     ablation-allocator
     python -m repro audit [--lint src/repro]
+    python -m repro lint [--deep] [--format json] [paths...]
     python -m repro --audit <any command>
 
 Every command prints the rows/series the corresponding paper figure plots.
 ``audit`` (or the global ``--audit`` flag) replays the example workloads
 through the invariant auditor (``repro.verify``) and exits non-zero on any
-violation of the paper's model invariants.
+violation of the paper's model invariants.  ``lint`` runs the file-local
+determinism rules (``ABG1xx``); with ``--deep`` it additionally runs the
+interprocedural purity/parallel-safety analysis (``ABG2xx``,
+``repro.verify.flow``) and emits one unified report.
 """
 
 from __future__ import annotations
@@ -384,6 +388,49 @@ def _cmd_audit(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    import json
+
+    from .verify.findings import exit_code, findings_payload, render_findings
+    from .verify.lint import lint_paths
+
+    paths = args.paths or ["src/repro"]
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    stats = None
+    if args.deep:
+        from .verify.flow import SummaryCache, analyze_paths
+
+        cache = None if args.no_cache else SummaryCache(args.cache)
+        deep = analyze_paths(paths, cache=cache)
+        findings = sorted(
+            [*findings, *deep.findings],
+            key=lambda f: (f.path, f.line, f.col, f.code),
+        )
+        stats = deep.stats
+
+    if args.format == "json":
+        text = json.dumps(findings_payload(findings, stats=stats), indent=1)
+    else:
+        text = render_findings(findings)
+        if stats is not None:
+            text += (
+                f"\ndeep: {stats['modules']} modules, "
+                f"{stats['functions']} functions, {stats['roots']} roots, "
+                f"{stats['reachable']} worker-reachable "
+                f"(cache: {stats['cache_hits']} hit, "
+                f"{stats['cache_misses']} miss)"
+            )
+    status = exit_code(findings)
+    if status:
+        print(text)
+        raise SystemExit(status)
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="abg-repro",
@@ -535,6 +582,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run the determinism lint pass on these paths",
     )
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism lint (ABG1xx); --deep adds the "
+        "interprocedural purity/parallel-safety analysis (ABG2xx)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to analyze (default: src/repro)",
+    )
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also build the call graph from the worker-dispatch roots and "
+        "check every reachable function (rules ABG201-ABG231)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json follows the schema in docs/STATIC_ANALYSIS.md)",
+    )
+    p.add_argument(
+        "--cache",
+        default=".abg_cache/flow-summaries.json",
+        metavar="PATH",
+        help="effect-summary cache file for --deep (content-hash keyed)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the summary cache",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

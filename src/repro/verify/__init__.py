@@ -9,7 +9,12 @@ Two mechanically-checkable guarantees back this reproduction:
   reports structured violations;
 - the **lint pass** (:mod:`repro.verify.lint`) enforces repo-specific
   determinism rules (no unseeded randomness, no float equality, no
-  hash-order iteration, ``__all__`` consistency) over the source tree.
+  hash-order iteration, ``__all__`` consistency) over the source tree;
+- the **flow analysis** (:mod:`repro.verify.flow`) proves the fan-out
+  determinism contract interprocedurally: it builds a call graph from the
+  worker-dispatched entry points and checks every reachable function for
+  purity, explicit seed flow, ordered iteration, and picklable pool
+  payloads (rules ``ABG2xx``, ``python -m repro lint --deep``).
 
 See docs/ARCHITECTURE.md ("Verification layer") for the invariant-to-theorem
 map, and CONTRIBUTING.md for how to run both locally.
@@ -31,6 +36,8 @@ if TYPE_CHECKING:
         audit_multi_result,
         audit_trace,
     )
+    from .findings import exit_code, findings_payload, render_findings
+    from .flow import FlowReport, analyze_paths
     from .lint import LintFinding, check_file, check_source, lint_paths
     from .scenarios import (
         AuditScenario,
@@ -43,19 +50,24 @@ if TYPE_CHECKING:
 __all__ = [
     "AuditReport",
     "AuditScenario",
+    "FlowReport",
     "InvariantError",
     "LintFinding",
     "TraceExpectations",
     "Violation",
+    "analyze_paths",
     "audit_dag_schedule",
     "audit_multi_result",
     "audit_scenarios",
     "audit_trace",
     "check_file",
     "check_source",
+    "exit_code",
+    "findings_payload",
     "format_suite",
     "lint_paths",
     "merge_reports",
+    "render_findings",
     "run_audit_suite",
 ]
 
@@ -76,6 +88,11 @@ _EXPORT_MODULE = {
     "check_file": "lint",
     "check_source": "lint",
     "lint_paths": "lint",
+    "exit_code": "findings",
+    "findings_payload": "findings",
+    "render_findings": "findings",
+    "FlowReport": "flow",
+    "analyze_paths": "flow",
 }
 
 

@@ -1,0 +1,242 @@
+"""Shared finding model for the ABG static-analysis passes.
+
+Both analysis layers — the file-local lint (:mod:`repro.verify.lint`,
+rules ``ABG1xx``) and the interprocedural flow analysis
+(:mod:`repro.verify.flow`, rules ``ABG2xx``) — report the same
+:class:`LintFinding` record, draw severities from the same registry, and
+honor the same suppression comments, so ``python -m repro lint`` can emit
+one unified report with a single exit-code policy.
+
+Suppression syntax
+------------------
+
+Two comment forms silence findings on their line:
+
+- ``# noqa`` / ``# noqa: ABG102,ABG104`` — the legacy file-local form; a
+  bare ``noqa`` silences every rule on the line.
+- ``# abg: allow[ABG201] reason=<free text>`` — the justification-required
+  form shared by every ABG rule.  The ``reason=`` clause is mandatory: an
+  ``allow`` without a non-empty reason does **not** suppress anything and
+  is itself reported as ``ABG290``.
+
+Exit-code policy (shared by every entry point): ``0`` when no finding of
+severity ``"error"`` exists, ``1`` otherwise, ``2`` on usage errors.
+Every current rule is an ``"error"``; the ``"warning"`` tier exists so a
+future advisory rule does not have to change the policy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "LintFinding",
+    "LineSuppression",
+    "RULES",
+    "rule_severity",
+    "line_suppression",
+    "is_suppressed",
+    "scan_suppressions",
+    "findings_payload",
+    "render_findings",
+    "exit_code",
+]
+
+#: Every rule either layer can emit: code -> (severity, one-line summary).
+#: The long-form catalogue with paper anchors lives in docs/STATIC_ANALYSIS.md.
+RULES: dict[str, tuple[str, str]] = {
+    "ABG100": ("error", "source file does not parse"),
+    "ABG101": ("error", "unseeded/global randomness (stdlib random, numpy global state)"),
+    "ABG102": ("error", "exact ==/!= against a float literal"),
+    "ABG103": ("error", "mutable default argument"),
+    "ABG104": ("error", "iteration over a syntactic set display/call without sorted()"),
+    "ABG105": ("error", "__all__ inconsistent with module definitions"),
+    "ABG201": ("error", "module-global or closure state written on a worker-dispatched path"),
+    "ABG202": ("error", "mutable default argument on a worker-reachable function"),
+    "ABG211": ("error", "ambient RNG on a parallel path (seedless default_rng or global state)"),
+    "ABG212": ("error", "RNG seed on a parallel path not derived from a seed parameter"),
+    "ABG221": ("error", "hash-order set iteration on a parallel path without sorted()"),
+    "ABG231": ("error", "unpicklable or handle-bearing payload shipped to a process pool"),
+    "ABG290": ("error", "`# abg: allow[...]` suppression without a reason= justification"),
+}
+
+
+def rule_severity(code: str) -> str:
+    """Severity tier of ``code`` (unknown codes default to ``"error"``)."""
+    entry = RULES.get(code)
+    return entry[0] if entry is not None else "error"
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One rule violation at a source location.
+
+    ``severity`` comes from :data:`RULES`; ``trace`` is the sample
+    call path a flow finding is reachable along (empty for file-local
+    findings).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+    trace: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.trace:
+            text += f" [reachable via {' -> '.join(self.trace)}]"
+        return text
+
+
+# -- suppression comments ----------------------------------------------------
+
+_ALLOW_RE = re.compile(
+    r"#\s*abg:\s*allow\[(?P<codes>[A-Za-z0-9_,\s]*)\]\s*(?:reason\s*=\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LineSuppression:
+    """A suppression comment found on one line.
+
+    ``codes`` empty means "every rule" (bare ``# noqa`` only);
+    ``requires_reason`` marks the ``abg: allow`` form, which is inert
+    unless ``reason`` is a non-empty string.
+    """
+
+    codes: frozenset[str] = frozenset()
+    requires_reason: bool = False
+    reason: str | None = None
+
+    @property
+    def effective(self) -> bool:
+        return not self.requires_reason or bool(self.reason and self.reason.strip())
+
+
+def line_suppression(source_lines: Sequence[str], line: int) -> LineSuppression | None:
+    """The suppression comment on ``line`` (1-based), if any.
+
+    Recognizes both the legacy ``# noqa[: CODES]`` form and the
+    justification-required ``# abg: allow[CODES] reason=...`` form.
+    """
+    if not (1 <= line <= len(source_lines)):
+        return None
+    text = source_lines[line - 1]
+    match = _ALLOW_RE.search(text)
+    if match is not None:
+        codes = frozenset(
+            c.strip().upper() for c in match.group("codes").split(",") if c.strip()
+        )
+        return LineSuppression(
+            codes=codes, requires_reason=True, reason=match.group("reason")
+        )
+    marker = text.find("# noqa")
+    if marker < 0:
+        return None
+    rest = text[marker + len("# noqa") :].strip()
+    if rest.startswith(":"):
+        codes = frozenset(c.strip().upper() for c in rest[1:].split(",") if c.strip())
+        return LineSuppression(codes=codes)
+    return LineSuppression()
+
+
+def is_suppressed(source_lines: Sequence[str], line: int, code: str) -> bool:
+    """Whether an *effective* suppression on ``line`` covers ``code``."""
+    sup = line_suppression(source_lines, line)
+    if sup is None or not sup.effective:
+        return False
+    return not sup.codes or code.upper() in sup.codes
+
+
+def scan_suppressions(source_lines: Sequence[str], path: str) -> list[LintFinding]:
+    """``ABG290`` findings for every ``abg: allow`` comment lacking a reason."""
+    findings: list[LintFinding] = []
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        reason = match.group("reason")
+        if reason is None or not reason.strip():
+            findings.append(
+                LintFinding(
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    code="ABG290",
+                    message="suppression without justification; write "
+                    "`# abg: allow[CODE] reason=<why the rule is bent here>`",
+                    severity=rule_severity("ABG290"),
+                )
+            )
+    return findings
+
+
+# -- unified report rendering ------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Totals:
+    errors: int = 0
+    warnings: int = 0
+
+
+def _totals(findings: Iterable[LintFinding]) -> _Totals:
+    errors = warnings = 0
+    for f in findings:
+        if f.severity == "warning":
+            warnings += 1
+        else:
+            errors += 1
+    return _Totals(errors=errors, warnings=warnings)
+
+
+def findings_payload(
+    findings: Sequence[LintFinding], *, stats: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """JSON-serializable unified report (the ``--format=json`` body)."""
+    totals = _totals(findings)
+    payload: dict[str, Any] = {
+        "schema": 1,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "severity": f.severity,
+                "message": f.message,
+                "trace": list(f.trace),
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "errors": totals.errors,
+            "warnings": totals.warnings,
+        },
+    }
+    if stats:
+        payload["stats"] = stats
+    return payload
+
+
+def render_findings(findings: Sequence[LintFinding]) -> str:
+    """Human-readable unified report: one line per finding plus a summary."""
+    lines = [str(f) for f in findings]
+    totals = _totals(findings)
+    if findings:
+        lines.append(f"{len(findings)} finding(s): {totals.errors} error(s), "
+                     f"{totals.warnings} warning(s)")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def exit_code(findings: Sequence[LintFinding]) -> int:
+    """The shared exit-code policy: 1 when any error-severity finding exists."""
+    return 1 if any(f.severity != "warning" for f in findings) else 0

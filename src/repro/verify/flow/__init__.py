@@ -1,0 +1,37 @@
+"""Interprocedural purity & parallel-safety analysis (rules ``ABG2xx``).
+
+The file-local lint (:mod:`repro.verify.lint`) can only see one function
+at a time; this package *proves* the repo's fan-out determinism contract —
+"``--jobs``/``--workers`` never changes a number" — by building a call
+graph over ``src/repro``, extracting per-function effect summaries, and
+propagating reachability from the worker-dispatched entry points to a
+fixpoint.  See :mod:`repro.verify.flow.analysis` for the rule families and
+docs/STATIC_ANALYSIS.md for the full catalogue.
+
+Entry points::
+
+    python -m repro lint --deep            # unified ABG1xx + ABG2xx report
+    from repro.verify.flow import analyze_paths
+    report = analyze_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from .analysis import DEFAULT_ROOT_PATTERNS, FlowReport, analyze_paths
+from .cache import DEFAULT_CACHE_PATH, SummaryCache
+from .callgraph import ModuleIndex, build_call_graph
+from .model import FunctionSummary, ModuleInfo
+from .summarize import summarize_module
+
+__all__ = [
+    "DEFAULT_CACHE_PATH",
+    "DEFAULT_ROOT_PATTERNS",
+    "FlowReport",
+    "FunctionSummary",
+    "ModuleIndex",
+    "ModuleInfo",
+    "SummaryCache",
+    "analyze_paths",
+    "build_call_graph",
+    "summarize_module",
+]

@@ -1,0 +1,318 @@
+"""Fixpoint analysis: prove the fan-out determinism contract statically.
+
+``analyze_paths`` summarizes every file (through the content-hash cache),
+builds the call graph, determines the *worker-dispatched* root set, and
+propagates reachability to a fixpoint.  Every function reachable from a
+root executes inside a ``ProcessPoolExecutor`` worker under ``repro all
+--jobs`` / ``fig5``/``fig6 --workers`` — so on those functions the ABG2xx
+rules apply:
+
+- ``ABG201`` — writes to module-global or closure state (a worker's
+  globals are per-process: any such write silently diverges between serial
+  and parallel runs);
+- ``ABG202`` — mutable default arguments (call-to-call aliasing inside a
+  worker);
+- ``ABG211`` — ambient randomness: seedless ``default_rng()``, stdlib
+  ``random``, numpy global state;
+- ``ABG212`` — a ``default_rng(seed)`` whose seed expression is not
+  data-flow-derived from a parameter, literal, or module constant;
+- ``ABG221`` — hash-order set iteration without ``sorted(...)``;
+- ``ABG231`` — unpicklable or handle-bearing payloads at the dispatch
+  sites themselves (reported wherever they occur).
+
+Roots come from two sources: **discovered** dispatch sites (any function
+handed by name to ``map_deterministic`` / ``pool.submit`` / ``pool.map``)
+and the **declared** patterns in :data:`DEFAULT_ROOT_PATTERNS` covering
+registry-driven dispatch the resolver cannot see through (the bench
+scenario table, the experiment-runner registry, and the engine protocol
+surface the workers drive).
+
+Suppression uses the shared ``# abg: allow[CODE] reason=...`` syntax from
+:mod:`repro.verify.findings`; a reason is mandatory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..findings import LintFinding, is_suppressed, rule_severity
+from .cache import SummaryCache, source_digest
+from .callgraph import ModuleIndex, build_call_graph
+from .model import FunctionSummary, ModuleInfo
+from .summarize import summarize_module
+
+__all__ = ["FlowReport", "analyze_paths", "DEFAULT_ROOT_PATTERNS"]
+
+#: Declared roots (``module-glob::qualname-glob``) for dispatch the call
+#: graph cannot follow because the callee travels through a data registry:
+#: the bench scenario table (``SCENARIOS``), the experiment-runner registry
+#: (``_experiments()``), and the engine protocol surface workers drive.
+DEFAULT_ROOT_PATTERNS: tuple[str, ...] = (
+    "repro.bench.scenarios::_*",
+    "repro.engine.*::*.execute_quantum",
+    "repro.experiments.*::run_*",
+)
+
+
+@dataclass(slots=True)
+class FlowReport:
+    """Outcome of one deep analysis run."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    roots: tuple[str, ...] = ()
+    reachable: frozenset[str] = frozenset()
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.exists():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return files
+
+
+def _display(func_id: str) -> str:
+    return func_id.replace("::", ".")
+
+
+def _matches(func_id: str, pattern: str) -> bool:
+    module, _, qualname = func_id.partition("::")
+    pat_module, sep, pat_qual = pattern.partition("::")
+    if not sep:
+        return fnmatchcase(_display(func_id), pattern)
+    return fnmatchcase(module, pat_module) and fnmatchcase(qualname, pat_qual)
+
+
+def _function_findings(
+    summary: FunctionSummary,
+    info: ModuleInfo,
+    lines: Sequence[str],
+    trace: tuple[str, ...],
+) -> list[LintFinding]:
+    """The ABG2xx findings of one worker-reachable function."""
+    out: list[LintFinding] = []
+
+    def emit(line: int, code: str, message: str) -> None:
+        if is_suppressed(lines, line, code):
+            return
+        out.append(
+            LintFinding(
+                path=info.path,
+                line=line,
+                col=0,
+                code=code,
+                message=message,
+                severity=rule_severity(code),
+                trace=trace,
+            )
+        )
+
+    for write in summary.global_writes:
+        verb = "rebinds" if write.kind == "rebind" else "mutates"
+        emit(
+            write.line,
+            "ABG201",
+            f"worker-dispatched path {verb} module-global/closure state "
+            f"{write.name!r}; workers each see their own copy, so results "
+            "depend on the worker count — pass state through the task instead",
+        )
+    for default in summary.mutable_defaults:
+        emit(
+            default.line,
+            "ABG202",
+            "mutable default argument on a worker-reachable function aliases "
+            "state across calls within a worker; default to None",
+        )
+    for rng in summary.rng_uses:
+        if rng.kind == "seedless":
+            emit(
+                rng.line,
+                "ABG211",
+                "default_rng() without a seed on a parallel path draws "
+                "OS entropy per process; derive the stream from the task "
+                "(e.g. default_rng([seed, key]))",
+            )
+        elif rng.kind == "ambient":
+            emit(
+                rng.line,
+                "ABG211",
+                f"ambient randomness ({rng.detail}) on a parallel path; "
+                "every worker shares no state — pass an explicitly seeded "
+                "Generator instead",
+            )
+        else:
+            emit(
+                rng.line,
+                "ABG212",
+                "RNG seed on a parallel path is not derived from a seed "
+                "parameter, literal, or module constant; thread the seed "
+                "through the task arguments",
+            )
+    for it in summary.set_iterations:
+        emit(
+            it.line,
+            "ABG221",
+            f"hash-order iteration over set {it.detail!r} on a parallel "
+            "path; wrap in sorted(...) before the elements can reach a "
+            "recorded schedule or artifact",
+        )
+    return out
+
+
+def _payload_findings(
+    summary: FunctionSummary, info: ModuleInfo, lines: Sequence[str]
+) -> list[LintFinding]:
+    """ABG231 findings at dispatch sites (reported wherever they occur)."""
+    out: list[LintFinding] = []
+    for risk in summary.payload_risks:
+        if is_suppressed(lines, risk.line, "ABG231"):
+            continue
+        out.append(
+            LintFinding(
+                path=info.path,
+                line=risk.line,
+                col=0,
+                code="ABG231",
+                message=f"process-pool payload is not safely picklable: "
+                f"{risk.detail}; ship a module-level function and plain data",
+                severity=rule_severity("ABG231"),
+            )
+        )
+    return out
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    *,
+    root_patterns: Sequence[str] = DEFAULT_ROOT_PATTERNS,
+    extra_roots: Sequence[str] = (),
+    cache: SummaryCache | None = None,
+    overrides: Mapping[str, str] | None = None,
+) -> FlowReport:
+    """Run the interprocedural analysis over files and directories.
+
+    ``root_patterns`` add declared roots (``module-glob::qualname-glob``)
+    on top of the discovered dispatch sites; ``extra_roots`` add exact
+    function ids.  ``cache`` (a :class:`SummaryCache`) reuses summaries of
+    unchanged files; ``overrides`` maps absolute path strings to
+    replacement source text — the hook the mutation tests use to inject a
+    violation without touching the tree.
+    """
+    report = FlowReport()
+    modules: dict[str, ModuleInfo] = {}
+    sources: dict[str, list[str]] = {}
+
+    for file_path in _iter_python_files(paths):
+        path_str = str(file_path)
+        if overrides is not None and path_str in overrides:
+            source = overrides[path_str]
+        else:
+            source = file_path.read_text(encoding="utf-8")
+        sources[path_str] = source.splitlines()
+        digest = source_digest(source)
+        info = cache.get(path_str, digest) if cache is not None else None
+        if info is None:
+            try:
+                info = summarize_module(source, path_str)
+            except SyntaxError as exc:
+                report.findings.append(
+                    LintFinding(
+                        path=path_str,
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        code="ABG100",
+                        message=f"syntax error: {exc.msg}",
+                        severity=rule_severity("ABG100"),
+                    )
+                )
+                continue
+            if cache is not None:
+                cache.put(path_str, digest, info)
+        modules[info.module] = info
+    if cache is not None:
+        cache.save()
+
+    index = ModuleIndex(modules)
+    graph = build_call_graph(index)
+    functions = index.functions()
+
+    # -- root set: discovered dispatch sites + declared patterns -------------
+    roots: list[str] = []
+    for module, info in index.modules.items():
+        for qualname, summary in info.functions.items():
+            for dispatch in summary.dispatches:
+                for resolved in index.resolve_call(info, dispatch.callee, qualname):
+                    if resolved not in roots:
+                        roots.append(resolved)
+    for func_id in functions:
+        if any(_matches(func_id, p) for p in root_patterns) and func_id not in roots:
+            roots.append(func_id)
+    for root in extra_roots:
+        if root in functions and root not in roots:
+            roots.append(root)
+    report.roots = tuple(sorted(roots))
+
+    # -- reachability fixpoint ------------------------------------------------
+    # Property getters are invoked by attribute access (no call site), so
+    # once any method of a class is reachable its properties are too.
+    class_properties: dict[str, list[str]] = {}
+    for func_id, summary in functions.items():
+        if summary.is_property and "." in summary.qualname:
+            cls_id = func_id.rsplit(".", 1)[0]
+            class_properties.setdefault(cls_id, []).append(func_id)
+
+    parent: dict[str, str | None] = {r: None for r in roots}
+    queue: deque[str] = deque(roots)
+    while queue:
+        current = queue.popleft()
+        successors = list(graph.get(current, ()))
+        if "." in current.rpartition("::")[2]:
+            successors.extend(class_properties.get(current.rsplit(".", 1)[0], ()))
+        for callee in successors:
+            if callee not in parent:
+                parent[callee] = current
+                queue.append(callee)
+    report.reachable = frozenset(parent)
+
+    def trace_of(func_id: str) -> tuple[str, ...]:
+        chain: list[str] = []
+        cursor: str | None = func_id
+        while cursor is not None:
+            chain.append(_display(cursor))
+            cursor = parent[cursor]
+        return tuple(reversed(chain))
+
+    # -- findings -------------------------------------------------------------
+    for func_id, summary in functions.items():
+        info = index.info_for(func_id)
+        lines = sources.get(info.path, [])
+        report.findings.extend(_payload_findings(summary, info, lines))
+        if func_id in parent:
+            report.findings.extend(
+                _function_findings(summary, info, lines, trace_of(func_id))
+            )
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    report.stats = {
+        "modules": len(modules),
+        "functions": len(functions),
+        "roots": len(roots),
+        "reachable": len(parent),
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+    }
+    return report

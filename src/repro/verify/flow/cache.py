@@ -1,0 +1,81 @@
+"""Content-hash effect-summary cache.
+
+Summaries are file-local facts (see :mod:`repro.verify.flow.summarize`),
+so caching them keyed on the sha256 of each file's source is sound: edit a
+file and only that file re-summarizes; the (cheap) call-graph resolution
+and fixpoint always run fresh.  This keeps ``python -m repro lint --deep``
+fast enough for CI and pre-commit.
+
+The cache lives in ``.abg_cache/flow-summaries.json`` by default
+(git-ignored); a missing, corrupt, or schema-mismatched file is treated as
+empty, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from .model import ModuleInfo, module_from_payload, module_payload
+
+__all__ = ["SummaryCache", "DEFAULT_CACHE_PATH", "source_digest"]
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_PATH = Path(".abg_cache") / "flow-summaries.json"
+
+_SCHEMA = 1
+
+
+def source_digest(source: str) -> str:
+    """sha256 hex digest of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Load/store :class:`ModuleInfo` summaries keyed by path + digest."""
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH):
+        self.path = Path(path)
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, file_path: str, digest: str) -> ModuleInfo | None:
+        """The cached summary for ``file_path`` when its digest matches."""
+        entry = self._entries.get(file_path)
+        if entry is None or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        try:
+            info = module_from_payload(entry["module"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return info
+
+    def put(self, file_path: str, digest: str, info: ModuleInfo) -> None:
+        self._entries[file_path] = {
+            "sha256": digest,
+            "module": module_payload(info),
+        }
+
+    def save(self) -> None:
+        """Persist the cache (creates the parent directory)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": _SCHEMA, "entries": self._entries}
+        self.path.write_text(json.dumps(payload), encoding="utf-8")

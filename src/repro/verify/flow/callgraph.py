@@ -1,0 +1,197 @@
+"""Module index, class hierarchy, and call-graph construction.
+
+The :class:`ModuleIndex` resolves dotted names *globally*: a callee
+recorded as ``exp.run_fig5`` in one module is expanded through that
+module's import table to ``repro.experiments.run_fig5``, then chased
+through the ``repro.experiments`` package ``__init__``'s re-export to the
+defining module — so the call graph follows the package's public API
+exactly as the interpreter would.
+
+Method calls use class-hierarchy analysis: a call through a base
+annotation (``policy: FeedbackPolicy`` → ``policy.next_request()``)
+produces edges to the base method *and every override in an analyzed
+subclass*, which is what makes reachability a sound over-approximation of
+"can run inside a worker" for protocol-driven code like the engines and
+feedback policies.
+
+Resolution of calls that leave the analyzed tree (numpy, stdlib) or are
+genuinely dynamic (``driver(**kw)`` through a registry) yields no edge;
+registry dispatch is covered by the analysis' declared root patterns.
+"""
+
+from __future__ import annotations
+
+from .model import FunctionSummary, ModuleInfo, function_id
+from .summarize import expand_name
+
+__all__ = ["ModuleIndex", "build_call_graph"]
+
+
+class ModuleIndex:
+    """All summarized modules keyed by dotted module name, plus global
+    symbol and class-hierarchy resolution across import chains."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self._subclasses = self._build_hierarchy()
+
+    # -- class hierarchy -----------------------------------------------------
+
+    def _build_hierarchy(self) -> dict[str, set[str]]:
+        """``class id -> all (transitive) subclass ids`` over the tree."""
+        direct: dict[str, set[str]] = {}
+        for module, info in self.modules.items():
+            for cls, bases in info.classes.items():
+                cls_id = function_id(module, cls)
+                for base in bases:
+                    base_id = self._class_ref(info, base)
+                    if base_id is not None:
+                        direct.setdefault(base_id, set()).add(cls_id)
+        closed: dict[str, set[str]] = {}
+
+        def descendants(cls_id: str, seen: set[str]) -> set[str]:
+            if cls_id in closed:
+                return closed[cls_id]
+            out: set[str] = set()
+            for sub in direct.get(cls_id, ()):
+                if sub in seen:
+                    continue
+                out.add(sub)
+                out |= descendants(sub, seen | {sub})
+            closed[cls_id] = out
+            return out
+
+        return {cls_id: descendants(cls_id, {cls_id}) for cls_id in direct}
+
+    def resolve_class(self, dotted: str, _seen: set[str] | None = None) -> str | None:
+        """Resolve an absolute dotted name to a ``module::Class`` id."""
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            remainder = ".".join(parts[cut:])
+            if remainder in info.classes:
+                return function_id(module, remainder)
+            head = remainder.split(".")[0]
+            chained = info.aliases.get(head) or info.imports.get(head)
+            if chained is not None:
+                rest = remainder.partition(".")[2]
+                return self.resolve_class(
+                    f"{chained}.{rest}" if rest else chained, seen
+                )
+            return None
+        return None
+
+    def _class_ref(self, info: ModuleInfo, ref: str) -> str | None:
+        """A class reference as written in ``info``'s module: a bare name
+        defined there, or a dotted/imported name resolved globally."""
+        if ref in info.classes:
+            return function_id(info.module, ref)
+        return self.resolve_class(expand_name(ref, info))
+
+    def _method_targets(self, cls_id: str, method: str) -> tuple[str, ...]:
+        """``cls.method`` plus every analyzed subclass override."""
+        out: list[str] = []
+        for candidate in (cls_id, *sorted(self._subclasses.get(cls_id, ()))):
+            module, _, cls = candidate.partition("::")
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            target = f"{cls}.{method}"
+            if target in info.functions:
+                out.append(function_id(module, target))
+        return tuple(out)
+
+    def _constructor_targets(self, cls_id: str) -> tuple[str, ...]:
+        module, _, cls = cls_id.partition("::")
+        info = self.modules.get(module)
+        if info is None:
+            return ()
+        return tuple(
+            function_id(module, f"{cls}.{name}")
+            for name in ("__init__", "__post_init__")
+            if f"{cls}.{name}" in info.functions
+        )
+
+    # -- function resolution -------------------------------------------------
+
+    def functions(self) -> dict[str, FunctionSummary]:
+        """Every function in the tree keyed by ``module::qualname`` id."""
+        out: dict[str, FunctionSummary] = {}
+        for name, info in self.modules.items():
+            for qualname, summary in info.functions.items():
+                out[function_id(name, qualname)] = summary
+        return out
+
+    def info_for(self, func_id: str) -> ModuleInfo:
+        module, _, _ = func_id.partition("::")
+        return self.modules[module]
+
+    def resolve(self, dotted: str, _seen: set[str] | None = None) -> str | None:
+        """Resolve an absolute dotted name to a plain-function id,
+        following re-export chains; ``None`` when it leaves the tree."""
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            remainder = ".".join(parts[cut:])
+            if remainder in info.functions:
+                return function_id(module, remainder)
+            head = remainder.split(".")[0]
+            chained = info.aliases.get(head) or info.imports.get(head)
+            if chained is not None:
+                rest = remainder.partition(".")[2]
+                return self.resolve(f"{chained}.{rest}" if rest else chained, seen)
+            return None
+        return None
+
+    def resolve_call(
+        self, info: ModuleInfo, callee: str, qualname: str
+    ) -> tuple[str, ...]:
+        """Resolve one recorded call site from inside ``qualname`` of the
+        module described by ``info`` to zero or more callee ids."""
+        head, _, rest = callee.partition(".")
+        if head == "self":
+            if "." in qualname and rest and "." not in rest:
+                cls_id = function_id(info.module, qualname.split(".")[0])
+                return self._method_targets(cls_id, rest)
+            return ()
+        if "." not in callee and callee in info.functions:
+            return (function_id(info.module, callee),)
+        # class reference: instantiation or (possibly inherited) method call
+        class_part, _, method = callee.rpartition(".")
+        cls_id = self._class_ref(info, class_part) if class_part else None
+        if cls_id is not None and method:
+            return self._method_targets(cls_id, method)
+        whole_cls = self._class_ref(info, callee)
+        if whole_cls is not None:
+            return self._constructor_targets(whole_cls)
+        expanded = expand_name(callee, info)
+        resolved = self.resolve(expanded)
+        return (resolved,) if resolved is not None else ()
+
+
+def build_call_graph(index: ModuleIndex) -> dict[str, tuple[str, ...]]:
+    """``caller id -> callee ids`` over every summarized function."""
+    graph: dict[str, tuple[str, ...]] = {}
+    for module, info in index.modules.items():
+        for qualname, summary in info.functions.items():
+            callees: list[str] = []
+            for site in summary.calls:
+                for resolved in index.resolve_call(info, site.callee, qualname):
+                    if resolved not in callees:
+                        callees.append(resolved)
+            graph[function_id(module, qualname)] = tuple(callees)
+    return graph

@@ -26,8 +26,13 @@ deterministic order (sort first).
 must exist at module top level, and every public top-level function/class
 must be listed in ``__all__`` (when the module declares one).
 
+``ABG290`` **unjustified suppression** — an ``# abg: allow[...]`` comment
+without a ``reason=`` clause (see :mod:`repro.verify.findings`).
+
 Suppression: a trailing ``# noqa`` comment silences every rule on that
-line; ``# noqa: ABG102[,ABG104]`` silences specific rules.
+line; ``# noqa: ABG102[,ABG104]`` silences specific rules; the
+justification-required ``# abg: allow[ABG104] reason=...`` form shared
+with the flow analysis (``repro.verify.flow``) works everywhere.
 
 Run as a module::
 
@@ -38,9 +43,15 @@ from __future__ import annotations
 
 import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
+
+from .findings import (
+    LintFinding,
+    is_suppressed,
+    rule_severity,
+    scan_suppressions,
+)
 
 __all__ = [
     "LintFinding",
@@ -51,7 +62,7 @@ __all__ = [
     "RULE_CODES",
 ]
 
-RULE_CODES = ("ABG101", "ABG102", "ABG103", "ABG104", "ABG105")
+RULE_CODES = ("ABG101", "ABG102", "ABG103", "ABG104", "ABG105", "ABG290")
 
 #: numpy.random attributes that are deterministic-by-construction and allowed.
 _ALLOWED_NP_RANDOM = frozenset(
@@ -61,38 +72,6 @@ _ALLOWED_NP_RANDOM = frozenset(
 _MUTABLE_CONSTRUCTORS = frozenset(
     {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
 )
-
-
-@dataclass(frozen=True, slots=True)
-class LintFinding:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def _noqa_codes(source_lines: Sequence[str], line: int) -> frozenset[str] | None:
-    """Codes suppressed on ``line`` (1-based); ``frozenset()`` means a bare
-    ``# noqa`` suppressing everything, ``None`` means no suppression."""
-    if not (1 <= line <= len(source_lines)):
-        return None
-    text = source_lines[line - 1]
-    marker = text.find("# noqa")
-    if marker < 0:
-        return None
-    rest = text[marker + len("# noqa") :].strip()
-    if rest.startswith(":"):
-        codes = frozenset(
-            c.strip().upper() for c in rest[1:].split(",") if c.strip()
-        )
-        return codes
-    return frozenset()
 
 
 class _Linter(ast.NodeVisitor):
@@ -109,11 +88,17 @@ class _Linter(ast.NodeVisitor):
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        suppressed = _noqa_codes(self.lines, line)
-        if suppressed is not None and (not suppressed or code in suppressed):
+        if is_suppressed(self.lines, line, code):
             return
         self.findings.append(
-            LintFinding(path=self.path, line=line, col=col, code=code, message=message)
+            LintFinding(
+                path=self.path,
+                line=line,
+                col=col,
+                code=code,
+                message=message,
+                severity=rule_severity(code),
+            )
         )
 
     # -- ABG101: unseeded randomness ----------------------------------------
@@ -371,11 +356,13 @@ def check_source(source: str, path: str = "<string>") -> list[LintFinding]:
                 col=exc.offset or 0,
                 code="ABG100",
                 message=f"syntax error: {exc.msg}",
+                severity=rule_severity("ABG100"),
             )
         ]
     linter = _Linter(path, source)
     linter.visit(tree)
     linter.check_module_exports(tree)
+    linter.findings.extend(scan_suppressions(linter.lines, path))
     return sorted(linter.findings, key=lambda f: (f.line, f.col, f.code))
 
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Thin runner for the project lint pass (``repro.verify.lint``).
+"""Thin runner for the project lint pass (``python -m repro lint``).
 
 Exists so the lint can be invoked without an installed package or a
 ``PYTHONPATH`` export — pre-commit and bare checkouts both call this:
 
-    python tools/run_lint.py [paths...]
+    python tools/run_lint.py [--deep] [--format json] [paths...]
 
-Defaults to linting ``src/repro`` when no paths are given.
+Defaults to linting ``src/repro`` when no paths are given; flags pass
+through to the ``lint`` subcommand (``--deep`` adds the interprocedural
+ABG2xx analysis).
 """
 
 from __future__ import annotations
@@ -17,8 +19,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.verify.lint import main  # noqa: E402
+from repro.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    args = sys.argv[1:] or [str(REPO_ROOT / "src" / "repro")]
-    sys.exit(main(args))
+    args = sys.argv[1:]
+    if not any(not a.startswith("-") for a in args):
+        args = [*args, str(REPO_ROOT / "src" / "repro")]
+    sys.exit(main(["lint", *args]))
