@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..runtime import write_atomic
 from .scenarios import BENCH_SCALES, SCENARIOS, Scenario
 
 __all__ = [
@@ -193,11 +194,8 @@ def write_report(
     baseline: BenchReport | None = None,
 ) -> Path:
     """Write ``BENCH_<rev>.json`` into ``out_dir`` and return its path."""
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    path = out / f"BENCH_{report.rev}.json"
-    path.write_text(json.dumps(report_payload(report, baseline), indent=1))
-    return path
+    path = Path(out_dir) / f"BENCH_{report.rev}.json"
+    return write_atomic(path, json.dumps(report_payload(report, baseline), indent=1))
 
 
 def load_report(path: str | Path) -> BenchReport:

@@ -100,6 +100,47 @@ def _fig6_sweep(scale: str) -> int:
     return 2 * len(result.points)
 
 
+def _bench_unit(x: int) -> int:
+    """Trivial work unit: the resilience scenario times supervision, not work."""
+    return x + 1
+
+
+def _runner_resilience(scale: str) -> int:
+    """Supervised fan-out + checkpoint journal overhead (serial units).
+
+    Times the resilience layer itself — content-addressed keying, atomic
+    journal writes, and resume replay — over trivial units: one full pass
+    that journals every unit, then a second pass that must resume all of
+    them.  Units are work items processed across both passes.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from ..runtime import CheckpointJournal, run_supervised
+
+    count = 200 if scale == "smoke" else 1000
+    items = list(range(count))
+    keys = [f"bench-unit-{i}" for i in range(count)]
+    # journal on tmpfs when available: the scenario gates the resilience
+    # layer's CPU overhead, and disk-fsync latency is too run-to-run noisy
+    # for the 20% regression gate
+    base = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    tmp = tempfile.mkdtemp(prefix="abg-bench-journal-", dir=base)
+    try:
+        first = run_supervised(
+            _bench_unit, items, keys=keys, journal=CheckpointJournal(tmp)
+        )
+        second = run_supervised(
+            _bench_unit, items, keys=keys, journal=CheckpointJournal(tmp)
+        )
+        if len(second.resumed) != count:
+            raise RuntimeError("resilience bench failed to resume every unit")
+        return len(first.results) + len(second.results)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _lint_deep(scale: str) -> int:
     """Interprocedural flow analysis (summaries + call graph + fixpoint).
 
@@ -134,6 +175,11 @@ SCENARIOS: tuple[Scenario, ...] = (
     Scenario("simulate-abg", "ABG feedback loop, auto engine", _simulate_abg),
     Scenario("fig5-sweep", "Figure 5 driver, micro scale", _fig5_sweep),
     Scenario("fig6-sweep", "Figure 6 driver, micro scale", _fig6_sweep),
+    Scenario(
+        "runner-resilience",
+        "supervised fan-out + journal + resume overhead",
+        _runner_resilience,
+    ),
     Scenario("lint-deep", "interprocedural flow analysis, cold cache", _lint_deep),
 )
 

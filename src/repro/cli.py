@@ -6,8 +6,12 @@ Usage::
     python -m repro fig2
     python -m repro fig4 [--parallelism 10] [--rate 0.2]
     python -m repro fig5 [--factors 2:101:7] [--jobs 50] [--workers N]
+                         [--retries K] [--task-timeout S]
     python -m repro fig6 [--sets 200] [--bins 12] [--workers N]
+                         [--retries K] [--task-timeout S]
     python -m repro all [--out results] [--scale reduced] [--jobs N]
+                        [--resume] [--retries K] [--task-timeout S]
+                        [--faults SPEC]
     python -m repro theorem1
     python -m repro bounds
     python -m repro ablation-rate | ablation-quantum | ablation-discipline |
@@ -33,6 +37,8 @@ from dataclasses import fields
 from pathlib import Path
 
 from . import experiments as exp
+from .experiments.runner import RunInterrupted
+from .runtime.faults import FaultPlan
 
 __all__ = ["build_parser", "main"]
 
@@ -47,6 +53,70 @@ def _parse_range(spec: str) -> list[int]:
     if len(parts) == 3:
         return list(range(int(parts[0]), int(parts[1]), int(parts[2])))
     raise argparse.ArgumentTypeError(f"bad range spec {spec!r}")
+
+
+def _worker_count(value: str) -> int:
+    """``--workers``/``--jobs`` validator: an integer >= 0 (0 = all cores)."""
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be an integer, got {value!r}"
+        ) from None
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 0 (0 means all cores), got {count}"
+        )
+    return count
+
+
+def _positive_int(value: str) -> int:
+    """Validator for counts that must be at least 1."""
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {count}")
+    return count
+
+
+def _retry_count(value: str) -> int:
+    """``--retries`` validator: an integer >= 0 (0 = fail fast)."""
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"retry count must be an integer, got {value!r}"
+        ) from None
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"retry count must be >= 0 (0 disables retries), got {count}"
+        )
+    return count
+
+
+def _timeout_seconds(value: str) -> float:
+    """``--task-timeout`` validator: a positive number of seconds."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be a number of seconds, got {value!r}"
+        ) from None
+    if not seconds > 0:
+        raise argparse.ArgumentTypeError(f"timeout must be > 0 seconds, got {value}")
+    return seconds
+
+
+def _fault_plan(value: str) -> FaultPlan:
+    """``--faults`` validator: a ``key=value:...`` fault-plan spec."""
+    try:
+        return FaultPlan.parse(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _rows_table(title: str, rows: list) -> str:
@@ -119,6 +189,8 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
         factors=_parse_range(args.factors),
         jobs_per_factor=args.jobs,
         workers=args.workers,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
     )
     if args.csv:
         from .report import write_csv
@@ -160,7 +232,12 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    result = exp.run_fig6(num_sets=args.sets, workers=args.workers)
+    result = exp.run_fig6(
+        num_sets=args.sets,
+        workers=args.workers,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+    )
     bins = exp.bin_by_load(result, num_bins=args.bins)
     if args.csv:
         from .report import write_csv
@@ -253,7 +330,15 @@ def _cmd_trim(args: argparse.Namespace) -> str:
 def _cmd_all(args: argparse.Namespace) -> str:
     from .experiments.runner import run_everything
 
-    result = run_everything(args.out, scale=args.scale, jobs=args.jobs)
+    result = run_everything(
+        args.out,
+        scale=args.scale,
+        jobs=args.jobs,
+        resume=args.resume,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        faults=args.faults,
+    )
     lines = [f"ran {len(result.outcomes)} experiments at scale '{result.scale}' "
              f"in {result.total_seconds:.1f}s"]
     for o in result.outcomes:
@@ -320,9 +405,10 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         lines.append(line)
 
     if args.write_baseline:
+        from .runtime import write_atomic
+
         target = Path(args.write_baseline)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(report_payload(report), indent=1))
+        write_atomic(target, json.dumps(report_payload(report), indent=1))
         lines.append(f"\nbaseline written: {target}")
         return "\n".join(lines)
     if args.out:
@@ -431,6 +517,26 @@ def _cmd_lint(args: argparse.Namespace) -> str:
     return text
 
 
+def _add_resilience_arguments(p: argparse.ArgumentParser) -> None:
+    """The shared ``--retries``/``--task-timeout`` knobs of supervised fan-out."""
+    p.add_argument(
+        "--retries",
+        type=_retry_count,
+        default=None,
+        help="failed-attempt budget per work unit before the run aborts "
+        "(default: 2; retries re-run the same pure unit, so results are "
+        "unchanged)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=_timeout_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock limit; a unit past its deadline is killed "
+        "with its pool and retried (default: none)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="abg-repro",
@@ -460,28 +566,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig5", help="individual jobs vs transition factor")
     p.add_argument("--factors", default="2:101:7", help="a:b[:step] transition factors")
-    p.add_argument("--jobs", type=int, default=50, help="jobs per factor")
+    p.add_argument("--jobs", type=_positive_int, default=50, help="jobs per factor")
     p.add_argument(
         "--workers",
-        type=int,
+        type=_worker_count,
         default=1,
         help="parallel worker processes (0 = all cores); results are "
         "bit-identical at any worker count",
     )
+    _add_resilience_arguments(p)
     p.add_argument("--plot", action="store_true", help="draw ASCII charts")
     p.add_argument("--csv", default=None, help="write per-factor rows to CSV")
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig6", help="job sets vs load under DEQ")
-    p.add_argument("--sets", type=int, default=200, help="number of job sets")
+    p.add_argument("--sets", type=_positive_int, default=200, help="number of job sets")
     p.add_argument(
         "--workers",
-        type=int,
+        type=_worker_count,
         default=1,
         help="parallel worker processes (0 = all cores); results are "
         "bit-identical at any worker count",
     )
-    p.add_argument("--bins", type=int, default=12)
+    _add_resilience_arguments(p)
+    p.add_argument("--bins", type=_positive_int, default=12)
     p.add_argument("--plot", action="store_true", help="draw ASCII charts")
     p.add_argument("--csv", default=None, help="write per-set rows to CSV")
     p.set_defaults(func=_cmd_fig6)
@@ -533,10 +641,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_worker_count,
         default=1,
         help="parallel worker processes for the experiments (0 = all "
         "cores); the JSON artifacts are bit-identical at any job count",
+    )
+    _add_resilience_arguments(p)
+    p.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="replay experiments already checkpointed under <out>/.journal "
+        "instead of re-running them (--no-resume clears the journal first)",
+    )
+    p.add_argument(
+        "--faults",
+        type=_fault_plan,
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault schedule, e.g. "
+        "'seed=11:rate=0.4:kinds=crash,transient:max-failures=2' "
+        "(chaos testing; artifacts stay bit-identical because retries "
+        "re-run the same pure work units)",
     )
     p.set_defaults(func=_cmd_all)
 
@@ -624,7 +750,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    print(args.func(args))
+    try:
+        print(args.func(args))
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     if args.audit and args.command != "audit":
         text, status = _run_audit_suite()
         print()

@@ -17,19 +17,22 @@ fewer cycles.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from ..core.abg import AControl
 from ..core.agreedy import AGreedy
+from ..runtime import unit_key
 from ..sim.single import simulate_job
 from ..workloads.forkjoin import ForkJoinGenerator
 from .common import default_rng_seed
 from .parallel import map_deterministic
 
 if TYPE_CHECKING:
+    from ..runtime import CheckpointJournal
     from ..sim.stats import ConfidenceInterval
 
 __all__ = ["Fig5Point", "Fig5Result", "run_fig5"]
@@ -160,6 +163,14 @@ def _fig5_factor_point(task: _Fig5Task) -> Fig5Point:
     )
 
 
+def _decode_fig5_point(payload: object) -> Fig5Point:
+    """Rehydrate a journaled Figure 5 payload (see ``repro.runtime``)."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"fig5 journal payload must be a dict, got {type(payload)!r}")
+    fields: dict[str, Any] = dict(payload)
+    return Fig5Point(**fields)
+
+
 def run_fig5(
     *,
     factors: Sequence[int] = tuple(range(2, 101)),
@@ -171,12 +182,17 @@ def run_fig5(
     utilization_threshold: float = 0.8,
     seed: int = default_rng_seed,
     workers: int = 1,
+    journal: "CheckpointJournal | None" = None,
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> Fig5Result:
     """Run the Figure 5 sweep and return one point per transition factor.
 
     Each factor is an independent work unit with its own ``[seed, factor]``
     random stream; ``workers > 1`` fans the factors out over a process pool
-    with bit-identical results (``0`` = all cores).
+    with bit-identical results (``0`` = all cores).  An optional ``journal``
+    checkpoints each completed factor so an interrupted sweep resumes where
+    it stopped; ``retries``/``task_timeout`` bound per-unit failures.
     """
     if jobs_per_factor < 1:
         raise ValueError("need at least one job per factor")
@@ -193,7 +209,18 @@ def run_fig5(
         )
         for c in factors
     ]
-    points = map_deterministic(_fig5_factor_point, tasks, workers=workers)
+    keys = [unit_key("fig5-factor", dataclasses.asdict(t)) for t in tasks]
+    points = map_deterministic(
+        _fig5_factor_point,
+        tasks,
+        workers=workers,
+        keys=keys,
+        journal=journal,
+        encode=dataclasses.asdict,
+        decode=_decode_fig5_point,
+        retries=retries,
+        task_timeout=task_timeout,
+    )
     return Fig5Result(
         points=tuple(points),
         jobs_per_factor=jobs_per_factor,

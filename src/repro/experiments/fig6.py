@@ -16,12 +16,14 @@ feedback law irrelevant).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..runtime import CheckpointJournal
     from ..sim.stats import ConfidenceInterval
 
 from ..allocators.equipartition import DynamicEquiPartitioning
@@ -30,6 +32,7 @@ from ..core.agreedy import AGreedy
 from ..core.feedback import FeedbackPolicy
 from ..sim.jobs import JobSpec
 from ..sim.metrics import makespan_lower_bound, mean_response_time_lower_bound
+from ..runtime import unit_key
 from ..sim.multi import simulate_job_set
 from ..workloads.jobsets import JobSetGenerator, JobSetSample
 from .common import default_rng_seed
@@ -162,6 +165,14 @@ def _fig6_set_point(task: _Fig6Task) -> Fig6Point:
     )
 
 
+def _decode_fig6_point(payload: object) -> Fig6Point:
+    """Rehydrate a journaled Figure 6 payload (see ``repro.runtime``)."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"fig6 journal payload must be a dict, got {type(payload)!r}")
+    fields: dict[str, Any] = dict(payload)
+    return Fig6Point(**fields)
+
+
 def run_fig6(
     *,
     num_sets: int = 200,
@@ -174,13 +185,18 @@ def run_fig6(
     factor_range: tuple[int, int] = (2, 100),
     seed: int = default_rng_seed,
     workers: int = 1,
+    journal: "CheckpointJournal | None" = None,
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> Fig6Result:
     """Run the Figure 6 sweep: ``num_sets`` batched job sets with target
     loads drawn uniformly from ``load_range``.
 
     Each set is an independent work unit with its own ``[seed, index]``
     random stream; ``workers > 1`` fans the sets out over a process pool
-    with bit-identical results (``0`` = all cores).
+    with bit-identical results (``0`` = all cores).  An optional ``journal``
+    checkpoints each completed set so an interrupted sweep resumes where it
+    stopped; ``retries``/``task_timeout`` bound per-unit failures.
     """
     if num_sets < 1:
         raise ValueError("need at least one job set")
@@ -200,7 +216,18 @@ def run_fig6(
         )
         for i in range(num_sets)
     ]
-    points = map_deterministic(_fig6_set_point, tasks, workers=workers)
+    keys = [unit_key("fig6-set", dataclasses.asdict(t)) for t in tasks]
+    points = map_deterministic(
+        _fig6_set_point,
+        tasks,
+        workers=workers,
+        keys=keys,
+        journal=journal,
+        encode=dataclasses.asdict,
+        decode=_decode_fig6_point,
+        retries=retries,
+        task_timeout=task_timeout,
+    )
     points.sort(key=lambda p: p.load)
     return Fig6Result(
         points=tuple(points),

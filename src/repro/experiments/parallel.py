@@ -6,13 +6,22 @@ one job set, one whole experiment), each seeded from its own
 its stream and :func:`map_deterministic` preserves input order, the results
 are bit-identical whether the units run serially or across a process pool —
 ``--jobs``/``--workers`` only changes wall-clock time, never a number.
+
+Since the resilience rework, the fan-out itself is supervised: every map
+goes through :func:`repro.runtime.run_supervised`, which adds per-task
+wall-clock timeouts, crash detection, bounded retries with deterministic
+backoff, and (optionally) a crash-safe checkpoint journal for resumable
+sweeps.  None of that machinery touches unit *results* — retries re-run the
+same pure function on the same input — so the bit-identity contract above
+is unchanged.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..runtime import CheckpointJournal, resolve_workers, run_supervised
+from ..runtime.faults import FaultPlan
 
 __all__ = ["map_deterministic", "resolve_workers"]
 
@@ -20,29 +29,43 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def resolve_workers(workers: int) -> int:
-    """Normalize a worker count: ``0`` means "all cores", ``1`` serial."""
-    if workers < 0:
-        raise ValueError("worker count must be non-negative")
-    if workers == 0:
-        return os.cpu_count() or 1
-    return workers
-
-
 def map_deterministic(
-    fn: Callable[[T], R], items: Iterable[T], *, workers: int = 1
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int = 1,
+    keys: Sequence[str] | None = None,
+    journal: CheckpointJournal | None = None,
+    encode: Callable[[R], object] | None = None,
+    decode: Callable[[object], R] | None = None,
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[R]:
     """Order-preserving map over independent work units.
 
-    With ``workers <= 1`` this is a plain serial loop; otherwise the units
-    are distributed over a :class:`~concurrent.futures.ProcessPoolExecutor`
-    (``fn`` and every item must be picklable, i.e. module-level).  Results
-    come back in input order either way, so a caller whose units are
-    independently seeded gets bit-identical output at any worker count.
+    With ``workers <= 1`` the units run in-process; otherwise they are
+    distributed over a supervised process pool (``fn`` and every item must
+    be picklable, i.e. module-level).  Results come back in input order
+    either way, so a caller whose units are independently seeded gets
+    bit-identical output at any worker count.
+
+    The optional keyword arguments expose the resilience layer: ``keys`` +
+    ``journal`` enable crash-safe checkpoint/resume (with ``encode`` /
+    ``decode`` translating results to/from JSON payloads), ``retries`` and
+    ``task_timeout`` bound each unit's failure budget and wall-clock time,
+    and ``faults`` injects a deterministic fault schedule (testing/CI only).
     """
-    work = list(items)
-    n = resolve_workers(workers)
-    if n <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(n, len(work))) as pool:
-        return list(pool.map(fn, work))
+    outcome = run_supervised(
+        fn,
+        items,
+        workers=workers,
+        keys=keys,
+        journal=journal,
+        encode=encode,
+        decode=decode,
+        retries=retries,
+        task_timeout=task_timeout,
+        faults=faults,
+    )
+    return list(outcome.results)

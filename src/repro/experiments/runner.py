@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from . import (
     run_trim_demo,
@@ -40,12 +43,32 @@ from . import (
     run_stealing_compare,
     run_theorem1,
 )
+from ..runtime import CheckpointJournal, unit_key, write_atomic
+from ..runtime.faults import FaultPlan
 from .common import ExperimentTable, format_series, format_table
 from .parallel import map_deterministic
 
-__all__ = ["ExperimentOutcome", "RunnerResult", "run_everything", "SCALES"]
+__all__ = [
+    "ExperimentOutcome",
+    "RunInterrupted",
+    "RunnerResult",
+    "run_everything",
+    "SCALES",
+]
 
 SCALES = ("smoke", "reduced", "full")
+
+#: Journal directory name inside the output directory.
+JOURNAL_DIRNAME = ".journal"
+
+
+class RunInterrupted(RuntimeError):
+    """``repro all`` was interrupted (Ctrl-C / SIGTERM) after a clean shutdown.
+
+    The checkpoint journal under ``<out>/.journal`` holds every experiment
+    that completed before the interruption; rerunning with ``--resume``
+    skips them.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,6 +183,50 @@ def _execute_experiment(item: Experiment) -> tuple[str, float, list[dict[str, An
     return name, seconds, _to_records(raw)
 
 
+def _experiment_key(scale: str, item: Experiment) -> str:
+    """Content-addressed checkpoint key of one ``repro all`` work item."""
+    name, _driver, kwargs = item
+    return unit_key("experiment", {"name": name, "scale": scale, "kwargs": kwargs})
+
+
+def _encode_executed(result: tuple[str, float, list[dict[str, Any]]]) -> object:
+    """Journal payload of one executed experiment (JSON-shaped)."""
+    name, seconds, records = result
+    return {"name": name, "seconds": seconds, "records": records}
+
+
+def _decode_executed(payload: object) -> tuple[str, float, list[dict[str, Any]]]:
+    """Rehydrate a journaled experiment; timings are the original run's."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"runner journal payload must be a dict, got {type(payload)!r}")
+    return str(payload["name"]), float(payload["seconds"]), list(payload["records"])
+
+
+@contextmanager
+def _interruptible() -> Iterator[None]:
+    """Translate SIGTERM into KeyboardInterrupt for the enclosed block.
+
+    Lets one handler path cover both Ctrl-C and a polite ``kill``: the pool
+    is torn down by the supervisor's cleanup, the journal is already durable
+    (every record is an fsync'd file), and the caller reports
+    :class:`RunInterrupted`.  Signal handlers can only be installed from the
+    main thread; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _on_term(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _on_term)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _markdown_table(name: str, records: list[dict[str, Any]]) -> str:
     if not records:
         return f"## {name}\n\n(no rows)\n"
@@ -198,6 +265,10 @@ def run_everything(
     *,
     scale: str = "reduced",
     jobs: int = 1,
+    resume: bool = False,
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunnerResult:
     """Run every experiment, write artifacts, and produce ``REPORT.md``.
 
@@ -205,28 +276,64 @@ def run_everything(
     over a process pool (``0`` = all cores).  The JSON artifacts are
     bit-identical at any job count — only the wall-clock timings reported in
     ``REPORT.md`` vary run to run.
+
+    Every completed experiment is checkpointed under ``<out>/.journal``;
+    ``resume=True`` replays those records instead of re-running (a fresh run
+    clears them first).  ``retries``/``task_timeout`` bound per-experiment
+    failures and wall-clock time; ``faults`` injects a deterministic fault
+    schedule (chaos testing only).  Ctrl-C or SIGTERM shuts the pool down
+    cleanly and raises :class:`RunInterrupted` — the journal survives, so
+    the next ``--resume`` run picks up where this one stopped.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    journal = CheckpointJournal(out / JOURNAL_DIRNAME)
+    if not resume:
+        journal.clear()
+    items = _experiments(scale)
+    keys = [_experiment_key(scale, item) for item in items]
     result = RunnerResult(scale=scale)
     report_sections: list[str] = [
         f"# ABG reproduction — experiment report (scale: {scale})",
         "",
     ]
-    executed = map_deterministic(
-        _execute_experiment, _experiments(scale), workers=jobs
-    )
-    for name, seconds, records in executed:
-        artifact = out / f"{name}.json"
-        artifact.write_text(json.dumps(records, indent=1, default=str))
-        result.outcomes.append(
-            ExperimentOutcome(
-                name=name, seconds=seconds, rows=len(records), artifact=str(artifact)
+    try:
+        with _interruptible():
+            executed = map_deterministic(
+                _execute_experiment,
+                items,
+                workers=jobs,
+                keys=keys,
+                journal=journal,
+                encode=_encode_executed,
+                decode=_decode_executed,
+                retries=retries,
+                task_timeout=task_timeout,
+                faults=faults,
             )
-        )
-        report_sections.append(_markdown_table(name, records))
-        report_sections.append(f"_{len(records)} rows in {seconds:.2f}s_\n")
-    report = out / "REPORT.md"
-    report.write_text("\n".join(report_sections))
-    result.report_path = report
+            # artifact emission stays inside the interruptible window: every
+            # write is atomic, so a SIGTERM here still shuts down cleanly and
+            # the (by now fully populated) journal replays on --resume
+            for name, seconds, records in executed:
+                artifact = out / f"{name}.json"
+                write_atomic(artifact, json.dumps(records, indent=1, default=str))
+                result.outcomes.append(
+                    ExperimentOutcome(
+                        name=name,
+                        seconds=seconds,
+                        rows=len(records),
+                        artifact=str(artifact),
+                    )
+                )
+                report_sections.append(_markdown_table(name, records))
+                report_sections.append(f"_{len(records)} rows in {seconds:.2f}s_\n")
+            report = out / "REPORT.md"
+            write_atomic(report, "\n".join(report_sections))
+            result.report_path = report
+    except KeyboardInterrupt as exc:
+        journal.flush()
+        raise RunInterrupted(
+            f"run interrupted with {len(journal)}/{len(items)} experiments "
+            f"checkpointed under {out / JOURNAL_DIRNAME}; rerun with --resume"
+        ) from exc
     return result

@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.types import JobTrace, QuantumRecord
+from ..runtime import write_atomic
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -66,9 +67,7 @@ def trace_from_dict(data: dict[str, Any]) -> JobTrace:
 
 
 def save_trace(trace: JobTrace, path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(trace_to_dict(trace), indent=2))
-    return path
+    return write_atomic(path, json.dumps(trace_to_dict(trace), indent=2))
 
 
 def load_trace(path: str | Path) -> JobTrace:
@@ -77,13 +76,11 @@ def load_trace(path: str | Path) -> JobTrace:
 
 def save_traces(traces: dict[int, JobTrace], path: str | Path) -> Path:
     """Persist a multiprogrammed result's traces keyed by job id."""
-    path = Path(path)
     payload = {
         "schema": SCHEMA_VERSION,
         "traces": {str(jid): trace_to_dict(t) for jid, t in traces.items()},
     }
-    path.write_text(json.dumps(payload, indent=2))
-    return path
+    return write_atomic(path, json.dumps(payload, indent=2))
 
 
 def load_traces(path: str | Path) -> dict[int, JobTrace]:

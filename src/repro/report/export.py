@@ -1,4 +1,8 @@
-"""Tabular export of experiment results (CSV / JSON)."""
+"""Tabular export of experiment results (CSV / JSON).
+
+File writes go through :func:`repro.runtime.write_atomic`, so an exported
+artifact is never observable half-written.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +12,8 @@ import io
 import json
 from pathlib import Path
 from typing import Any, Sequence
+
+from ..runtime import write_atomic
 
 __all__ = ["rows_to_csv", "rows_to_json", "write_csv", "write_json"]
 
@@ -39,12 +45,8 @@ def rows_to_json(rows: Sequence[Any], *, indent: int = 2) -> str:
 
 
 def write_csv(rows: Sequence[Any], path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(rows_to_csv(rows))
-    return path
+    return write_atomic(path, rows_to_csv(rows))
 
 
 def write_json(rows: Sequence[Any], path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(rows_to_json(rows))
-    return path
+    return write_atomic(path, rows_to_json(rows))

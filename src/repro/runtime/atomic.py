@@ -1,0 +1,46 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+Every artifact the repo persists (experiment JSON, ``REPORT.md``, CSV
+exports, ``BENCH_*.json``, checkpoint records) goes through
+:func:`write_atomic`, so an interruption at any instant — SIGKILL, OOM,
+power loss — leaves either the complete previous file or the complete new
+file, never a truncated hybrid.  The recipe is the standard one: write to
+a uniquely-named sibling temp file, flush + ``os.fsync`` the data to disk,
+then ``os.replace`` onto the target (atomic on POSIX and Windows when
+source and destination share a filesystem, which the sibling placement
+guarantees).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["write_atomic"]
+
+
+def write_atomic(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path``'s contents with ``text``; return the path.
+
+    The parent directory is created if missing.  On any failure the temp
+    file is removed and the target is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target

@@ -1,0 +1,163 @@
+"""Deterministic fault injection for the supervised experiment runtime.
+
+A :class:`FaultPlan` is a *seeded schedule* of worker failures: for every
+work-unit key it decides — as a pure function of ``(seed, key, attempt)``
+via :func:`~repro.runtime.checkpoint.stable_fraction` — whether that
+attempt should crash the worker process, hang past the task timeout, or
+raise a transient exception.  Because the schedule is deterministic, a
+chaos run is exactly reproducible: the same plan injects the same faults
+at the same attempts on every machine, and the supervised pool's recovery
+can be asserted bit-for-bit against a fault-free run.
+
+Faulted keys fail their first ``k`` attempts (``1 <= k <= max_failures``,
+drawn deterministically per key) and then succeed, so any retry budget of
+at least ``max_failures`` is guaranteed to complete the sweep.
+
+Plans are frozen dataclasses (picklable — they travel to pool workers as
+plain submit arguments) and can also be activated ambiently through the
+``REPRO_FAULTS`` environment variable, e.g.::
+
+    REPRO_FAULTS="seed=11:rate=0.4:kinds=crash,transient:max-failures=2" \\
+        python -m repro all --jobs 4 --retries 5
+
+Crash and hang faults only make sense inside a sacrificial worker
+process; when the supervisor executes a unit in-process (serial mode or
+the post-pool-failure fallback) they are demoted to transient exceptions,
+which keeps the retry accounting identical without killing the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from .checkpoint import stable_fraction
+
+__all__ = ["FaultPlan", "TransientFault", "FAULTS_ENV_VAR", "FAULT_KINDS"]
+
+#: Environment variable holding an ambient fault-plan spec.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Recognized fault kinds, in spec order.
+FAULT_KINDS = ("crash", "hang", "transient")
+
+#: Exit status of a crash-injected worker (distinctive in core-dump logs).
+CRASH_EXIT_STATUS = 13
+
+
+class TransientFault(RuntimeError):
+    """The injected recoverable failure (also the demoted crash/hang form)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of injected worker faults."""
+
+    seed: int = 0
+    rate: float = 0.25
+    """Fraction of work-unit keys that fail at all (drawn per key)."""
+    kinds: tuple[str, ...] = FAULT_KINDS
+    max_failures: int = 1
+    """A faulted key fails attempts ``0..k-1`` with ``k <= max_failures``."""
+    hang_seconds: float = 600.0
+    """How long a hang fault sleeps (pick well past the task timeout)."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be within [0, 1]")
+        if self.max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if not self.kinds:
+            raise ValueError("need at least one fault kind")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; pick from {FAULT_KINDS}"
+                )
+
+    # -- spec syntax ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``key=value:key=value`` spec (the env/CLI syntax).
+
+        Keys: ``seed`` (int), ``rate`` (float in [0,1]), ``kinds``
+        (comma-separated subset of crash/hang/transient), ``max-failures``
+        (int >= 1), ``hang-seconds`` (float).
+        """
+        fields: dict[str, object] = {}
+        for part in spec.split(":"):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"bad fault spec field {part!r} (want key=value)")
+            name = name.strip().replace("-", "_")
+            value = value.strip()
+            try:
+                if name == "seed":
+                    fields["seed"] = int(value)
+                elif name == "rate":
+                    fields["rate"] = float(value)
+                elif name == "kinds":
+                    fields["kinds"] = tuple(
+                        k.strip() for k in value.split(",") if k.strip()
+                    )
+                elif name == "max_failures":
+                    fields["max_failures"] = int(value)
+                elif name == "hang_seconds":
+                    fields["hang_seconds"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault spec field {name!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec {spec!r}: {exc}") from None
+        return cls(**fields)  # type: ignore[arg-type]
+
+    def format(self) -> str:
+        """The spec string :meth:`parse` round-trips."""
+        return (
+            f"seed={self.seed}:rate={self.rate}:kinds={','.join(self.kinds)}"
+            f":max-failures={self.max_failures}:hang-seconds={self.hang_seconds}"
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The ambient plan from ``REPRO_FAULTS``, or None when unset/empty."""
+        spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+        return cls.parse(spec) if spec else None
+
+    # -- the schedule --------------------------------------------------------
+
+    def planned_failures(self, key: str) -> int:
+        """How many leading attempts of ``key`` fail (0 for unfaulted keys)."""
+        if stable_fraction(self.seed, key, "gate") >= self.rate:
+            return 0
+        return 1 + int(stable_fraction(self.seed, key, "count") * self.max_failures)
+
+    def decide(self, key: str, attempt: int) -> str | None:
+        """The fault kind to inject for ``(key, attempt)``, or None."""
+        if attempt >= self.planned_failures(key):
+            return None
+        pick = stable_fraction(self.seed, key, attempt, "kind")
+        return self.kinds[int(pick * len(self.kinds))]
+
+    def inject(self, key: str, attempt: int, *, in_worker: bool) -> None:
+        """Execute the scheduled fault for ``(key, attempt)``, if any.
+
+        ``in_worker`` tells the plan whether it runs inside a sacrificial
+        pool worker (crashes/hangs allowed) or in the supervising process
+        (both demote to :class:`TransientFault`).
+        """
+        kind = self.decide(key, attempt)
+        if kind is None:
+            return
+        if kind == "crash" and in_worker:
+            os._exit(CRASH_EXIT_STATUS)
+        if kind == "hang" and in_worker:
+            time.sleep(self.hang_seconds)
+            return  # a survived hang completes normally (timeout reaps it)
+        raise TransientFault(
+            f"injected {kind} fault for unit {key!r} at attempt {attempt}"
+        )

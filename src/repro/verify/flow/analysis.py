@@ -21,11 +21,12 @@ rules apply:
   sites themselves (reported wherever they occur).
 
 Roots come from two sources: **discovered** dispatch sites (any function
-handed by name to ``map_deterministic`` / ``pool.submit`` / ``pool.map``)
-and the **declared** patterns in :data:`DEFAULT_ROOT_PATTERNS` covering
-registry-driven dispatch the resolver cannot see through (the bench
-scenario table, the experiment-runner registry, and the engine protocol
-surface the workers drive).
+handed by name to ``map_deterministic`` / ``run_supervised`` /
+``pool.submit`` / ``pool.map``) and the **declared** patterns in
+:data:`DEFAULT_ROOT_PATTERNS` covering registry-driven dispatch the
+resolver cannot see through (the bench scenario table, the
+experiment-runner registry, the engine protocol surface the workers
+drive, and the supervised pool's worker entrypoint).
 
 Suppression uses the shared ``# abg: allow[CODE] reason=...`` syntax from
 :mod:`repro.verify.findings`; a reason is mandatory.
@@ -50,11 +51,14 @@ __all__ = ["FlowReport", "analyze_paths", "DEFAULT_ROOT_PATTERNS"]
 #: Declared roots (``module-glob::qualname-glob``) for dispatch the call
 #: graph cannot follow because the callee travels through a data registry:
 #: the bench scenario table (``SCENARIOS``), the experiment-runner registry
-#: (``_experiments()``), and the engine protocol surface workers drive.
+#: (``_experiments()``), the engine protocol surface workers drive, and
+#: the supervised pool's picklable worker entrypoint (every ``pool.submit``
+#: funnels through it, so everything it calls runs inside a worker).
 DEFAULT_ROOT_PATTERNS: tuple[str, ...] = (
     "repro.bench.scenarios::_*",
     "repro.engine.*::*.execute_quantum",
     "repro.experiments.*::run_*",
+    "repro.runtime.supervisor::_invoke_unit",
 )
 
 

@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ...runtime import write_atomic
 from .model import ModuleInfo, module_from_payload, module_payload
 
 __all__ = ["SummaryCache", "DEFAULT_CACHE_PATH", "source_digest"]
@@ -25,7 +26,7 @@ __all__ = ["SummaryCache", "DEFAULT_CACHE_PATH", "source_digest"]
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_PATH = Path(".abg_cache") / "flow-summaries.json"
 
-_SCHEMA = 1
+_SCHEMA = 2
 
 
 def source_digest(source: str) -> str:
@@ -76,6 +77,5 @@ class SummaryCache:
 
     def save(self) -> None:
         """Persist the cache (creates the parent directory)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": _SCHEMA, "entries": self._entries}
-        self.path.write_text(json.dumps(payload), encoding="utf-8")
+        write_atomic(self.path, json.dumps(payload))

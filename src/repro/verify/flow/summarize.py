@@ -23,8 +23,9 @@ What the summarizer records, per function:
   with no ``sorted(...)`` wrapper — the interprocedural upgrade of the
   file-local ABG104, which only sees syntactic set displays;
 - **pool dispatches** — first arguments of ``map_deterministic`` /
-  ``pool.submit`` / ``pool.map`` (these become analysis roots) and payload
-  risks at those sites (lambdas, nested functions, ``open(...)`` handles).
+  ``run_supervised`` / ``pool.submit`` / ``pool.map`` (these become
+  analysis roots) and payload risks at those sites (lambdas, nested
+  functions, ``open(...)`` handles).
 """
 
 from __future__ import annotations
@@ -583,7 +584,7 @@ class _FunctionScanner(ast.NodeVisitor):
 
     def _check_dispatch(self, node: ast.Call, expanded: str) -> None:
         tail = expanded.split(".")[-1]
-        is_map_det = tail == "map_deterministic"
+        is_map_det = tail in ("map_deterministic", "run_supervised")
         is_pool_method = False
         if isinstance(node.func, ast.Attribute) and node.func.attr in ("submit", "map"):
             base = node.func.value

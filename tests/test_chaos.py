@@ -1,0 +1,113 @@
+"""Chaos tests: faulted runs must produce bit-identical artifacts.
+
+The determinism contract under fault injection: retries re-run the same
+pure, independently-seeded work units, so a run that survives injected
+crashes/hangs/transients writes byte-for-byte the same JSON artifacts as a
+fault-free serial run — and a killed run finishes under ``--resume`` with
+the same bytes too.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.runner import JOURNAL_DIRNAME, run_everything
+from repro.runtime import FAULTS_ENV_VAR, FaultPlan
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+CHAOS_PLAN = FaultPlan(
+    seed=11,
+    rate=0.45,
+    kinds=("crash", "transient"),
+    max_failures=2,
+)
+
+
+def _artifacts(out: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes() for p in sorted(out.glob("*.json"))}
+
+
+@pytest.mark.slow
+class TestChaosByteIdentity:
+    def test_faulted_parallel_matches_clean_serial(self, tmp_path):
+        clean = run_everything(tmp_path / "clean", scale="smoke", jobs=1)
+        chaotic = run_everything(
+            tmp_path / "chaos",
+            scale="smoke",
+            jobs=3,
+            retries=4,
+            faults=CHAOS_PLAN,
+        )
+        assert len(clean.outcomes) == len(chaotic.outcomes)
+        assert _artifacts(tmp_path / "clean") == _artifacts(tmp_path / "chaos")
+
+    def test_killed_run_resumes_to_identical_artifacts(self, tmp_path):
+        clean_dir, killed_dir = tmp_path / "clean", tmp_path / "killed"
+        run_everything(clean_dir, scale="smoke", jobs=1)
+
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        env.pop(FAULTS_ENV_VAR, None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "all",
+                "--out", str(killed_dir), "--scale", "smoke", "--jobs", "2",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # SIGTERM is only translated to a clean shutdown once run_everything
+        # has installed its handler; the first journal entry can only appear
+        # after that, so wait for it instead of sleeping a fixed interval
+        # (under load, interpreter startup alone can exceed any fixed sleep).
+        journal_dir = killed_dir / JOURNAL_DIRNAME
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and proc.poll() is None:
+            if journal_dir.is_dir() and any(journal_dir.iterdir()):
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=120)
+        # either we caught it mid-run (clean shutdown, exit 130, journal
+        # partial) or the smoke run finished first (exit 0, journal full) —
+        # both must resume to identical bytes
+        assert proc.returncode in (0, 130), stderr
+        if proc.returncode == 130:
+            assert "rerun with --resume" in stderr
+            assert (killed_dir / JOURNAL_DIRNAME).is_dir()
+
+        resumed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "all",
+                "--out", str(killed_dir), "--scale", "smoke", "--jobs", "2",
+                "--resume",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert _artifacts(clean_dir) == _artifacts(killed_dir)
+
+
+class TestAmbientFaultPlan:
+    def test_env_var_plan_keeps_results_identical(self, monkeypatch):
+        factors = (2, 9, 23)
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        clean = run_fig5(factors=factors, jobs_per_factor=2)
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR, "seed=11:rate=1.0:kinds=transient:max-failures=2"
+        )
+        faulted = run_fig5(factors=factors, jobs_per_factor=2, retries=2)
+        assert faulted.points == clean.points

@@ -50,6 +50,51 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestResilienceFlagValidation:
+    """``--jobs``/``--workers``/``--retries``/``--task-timeout`` are validated
+    at the CLI boundary with friendly argparse errors."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["all", "--jobs", "-1"],
+            ["all", "--jobs", "two"],
+            ["fig5", "--workers", "-2"],
+            ["fig6", "--workers", "1.5"],
+            ["fig5", "--jobs", "0"],
+            ["fig6", "--sets", "0"],
+            ["fig6", "--bins", "-3"],
+            ["all", "--retries", "-1"],
+            ["fig5", "--retries", "many"],
+            ["all", "--task-timeout", "0"],
+            ["fig6", "--task-timeout", "-5"],
+            ["all", "--task-timeout", "soon"],
+            ["all", "--faults", "rate=7"],
+            ["all", "--faults", "kinds=explode"],
+        ],
+    )
+    def test_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(argv)
+        assert info.value.code == 2
+        assert "error: argument" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["all", "--jobs", "0"],  # 0 = all cores
+            ["fig5", "--workers", "0", "--retries", "0"],
+            ["fig6", "--workers", "3", "--task-timeout", "2.5"],
+            ["all", "--resume", "--retries", "4"],
+            ["all", "--no-resume"],
+            ["all", "--faults", "seed=1:rate=0.5:kinds=crash,transient"],
+        ],
+    )
+    def test_accepted(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
 class TestMainCommands:
     """End-to-end through main() with tiny parameters where supported."""
 

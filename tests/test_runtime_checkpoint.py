@@ -1,0 +1,110 @@
+"""Tests for the crash-safe write/checkpoint layer (``repro.runtime``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import CheckpointJournal, stable_fraction, unit_key, write_atomic
+from repro.runtime.checkpoint import JOURNAL_SCHEMA
+
+
+class TestWriteAtomic:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = write_atomic(tmp_path / "a.json", "[1, 2]")
+        assert target.read_text() == "[1, 2]"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = write_atomic(tmp_path / "deep" / "er" / "a.txt", "x")
+        assert target.read_text() == "x"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "a.txt"
+        write_atomic(path, "old")
+        write_atomic(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_litter(self, tmp_path):
+        write_atomic(tmp_path / "a.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "a.txt"
+        write_atomic(path, "original")
+        # a non-str payload raises inside the write; the target must survive
+        # and the temp file must be cleaned up
+        with pytest.raises(TypeError):
+            write_atomic(path, object())  # type: ignore[arg-type]
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+
+class TestUnitKey:
+    def test_order_independent(self):
+        assert unit_key("k", {"a": 1, "b": 2}) == unit_key("k", {"b": 2, "a": 1})
+
+    def test_kind_and_params_distinguish(self):
+        assert unit_key("k", {"a": 1}) != unit_key("j", {"a": 1})
+        assert unit_key("k", {"a": 1}) != unit_key("k", {"a": 2})
+
+    def test_key_shape(self):
+        key = unit_key("fig5-factor", {"seed": 42})
+        assert key.startswith("fig5-factor-")
+        assert len(key.rsplit("-", 1)[1]) == 32
+
+
+class TestStableFraction:
+    def test_deterministic(self):
+        assert stable_fraction(1, "k", 3) == stable_fraction(1, "k", 3)
+
+    def test_in_unit_interval(self):
+        values = [stable_fraction(i, "gate") for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_sensitive_to_every_part(self):
+        base = stable_fraction(1, "k", 0)
+        assert stable_fraction(2, "k", 0) != base
+        assert stable_fraction(1, "j", 0) != base
+        assert stable_fraction(1, "k", 1) != base
+
+
+class TestCheckpointJournal:
+    def test_record_and_reload(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record("unit-a", {"rows": [1, 2]})
+        journal.record("unit-b", {"rows": [3]})
+        reloaded = CheckpointJournal(tmp_path / "j")
+        assert len(reloaded) == 2
+        assert "unit-a" in reloaded
+        assert reloaded.payload("unit-a") == {"rows": [1, 2]}
+        assert list(reloaded.keys()) == ["unit-a", "unit-b"]
+
+    def test_payload_round_trips_through_json(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record("u", {"t": (1, 2)})  # tuples stringify like artifacts do
+        assert journal.payload("u") == json.loads(json.dumps({"t": (1, 2)}))
+
+    def test_corrupt_record_treated_as_absent(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record("u", 1)
+        (tmp_path / "j" / "u.json").write_text("{ truncated")
+        assert "u" not in CheckpointJournal(tmp_path / "j")
+
+    def test_schema_mismatch_treated_as_absent(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record("u", 1)
+        (tmp_path / "j" / "u.json").write_text(
+            json.dumps({"schema": JOURNAL_SCHEMA + 1, "key": "u", "payload": 1})
+        )
+        assert "u" not in CheckpointJournal(tmp_path / "j")
+
+    def test_clear_removes_records(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j")
+        journal.record("u", 1)
+        journal.clear()
+        assert len(journal) == 0
+        assert len(CheckpointJournal(tmp_path / "j")) == 0
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert len(CheckpointJournal(tmp_path / "nope")) == 0

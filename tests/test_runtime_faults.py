@@ -1,0 +1,120 @@
+"""Tests for the deterministic fault-injection harness (``repro.runtime.faults``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import FAULT_KINDS, FAULTS_ENV_VAR, FaultPlan, TransientFault
+
+
+class TestSpecSyntax:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=11:rate=0.4:kinds=crash,transient:max-failures=2:hang-seconds=30"
+        )
+        assert plan == FaultPlan(
+            seed=11,
+            rate=0.4,
+            kinds=("crash", "transient"),
+            max_failures=2,
+            hang_seconds=30.0,
+        )
+
+    def test_format_round_trips(self):
+        plan = FaultPlan(seed=3, rate=0.75, kinds=("hang",), max_failures=4)
+        assert FaultPlan.parse(plan.format()) == plan
+
+    def test_defaults(self):
+        assert FaultPlan.parse("seed=1") == FaultPlan(seed=1)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "seed=abc",
+            "rate=2.0",
+            "rate=-0.1",
+            "kinds=explode",
+            "max-failures=0",
+            "frequency=1",
+            "seed",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=5:rate=1.0")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.seed == 5 and plan.rate == 1.0
+        monkeypatch.setenv(FAULTS_ENV_VAR, "  ")
+        assert FaultPlan.from_env() is None
+        monkeypatch.delenv(FAULTS_ENV_VAR)
+        assert FaultPlan.from_env() is None
+
+
+class TestSchedule:
+    def test_deterministic_across_instances(self):
+        a = FaultPlan(seed=9, rate=0.5, max_failures=3)
+        b = FaultPlan(seed=9, rate=0.5, max_failures=3)
+        keys = [f"unit-{i}" for i in range(50)]
+        assert [a.planned_failures(k) for k in keys] == [
+            b.planned_failures(k) for k in keys
+        ]
+        assert [a.decide(k, 0) for k in keys] == [b.decide(k, 0) for k in keys]
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=1, rate=0.0)
+        assert all(plan.planned_failures(f"u{i}") == 0 for i in range(100))
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan(seed=1, rate=1.0)
+        assert all(plan.planned_failures(f"u{i}") >= 1 for i in range(100))
+
+    def test_failures_bounded_then_success(self):
+        plan = FaultPlan(seed=2, rate=1.0, max_failures=3)
+        for i in range(30):
+            key = f"u{i}"
+            k = plan.planned_failures(key)
+            assert 1 <= k <= 3
+            assert all(plan.decide(key, a) is not None for a in range(k))
+            assert plan.decide(key, k) is None
+
+    def test_decide_picks_from_declared_kinds(self):
+        plan = FaultPlan(seed=4, rate=1.0, kinds=("transient",))
+        assert {plan.decide(f"u{i}", 0) for i in range(20)} == {"transient"}
+
+    def test_seed_changes_schedule(self):
+        keys = [f"u{i}" for i in range(200)]
+        a = [FaultPlan(seed=1, rate=0.5).planned_failures(k) for k in keys]
+        b = [FaultPlan(seed=2, rate=0.5).planned_failures(k) for k in keys]
+        assert a != b
+
+
+class TestInjection:
+    def test_unfaulted_attempt_is_a_no_op(self):
+        FaultPlan(seed=1, rate=0.0).inject("u", 0, in_worker=True)
+
+    def test_transient_raises(self):
+        plan = FaultPlan(seed=1, rate=1.0, kinds=("transient",))
+        with pytest.raises(TransientFault):
+            plan.inject("u", 0, in_worker=True)
+
+    def test_crash_and_hang_demote_in_process(self):
+        # in the supervising process a crash/hang must not kill/stall the
+        # parent: both demote to TransientFault
+        for kinds in (("crash",), ("hang",)):
+            plan = FaultPlan(seed=1, rate=1.0, kinds=kinds, hang_seconds=60.0)
+            with pytest.raises(TransientFault):
+                plan.inject("u", 0, in_worker=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_failures=0)
+        with pytest.raises(ValueError):
+            FaultPlan(kinds=())
+        with pytest.raises(ValueError):
+            FaultPlan(kinds=("nope",))
+        assert FaultPlan().kinds == FAULT_KINDS

@@ -316,6 +316,44 @@ class TestInterprocedural:
         assert [f.code for f in report.findings] == ["ABG211"]
 
 
+class TestSupervisedDispatch:
+    """``run_supervised`` is a dispatch surface exactly like the bare map."""
+
+    def test_run_supervised_discovers_root(self, tmp_path):
+        src = """\
+            STATE = {}
+
+            def worker(x):
+                STATE[x] = 1
+                return x
+
+            def run(items):
+                return run_supervised(worker, items, workers=4)
+        """
+        target = tmp_path / "m.py"
+        target.write_text(textwrap.dedent(src))
+        report = analyze_paths([target], root_patterns=())
+        assert report.roots == ("m::worker",)
+        assert [f.code for f in report.findings] == ["ABG201"]
+
+    def test_run_supervised_clean_worker_passes(self, tmp_path):
+        src = """\
+            def worker(x):
+                return x + 1
+
+            def run(items):
+                return run_supervised(worker, items, workers=4)
+        """
+        assert flow_codes(tmp_path, src, roots=()) == []
+
+    def test_run_supervised_lambda_payload_flagged(self, tmp_path):
+        src = """\
+            def run(items):
+                return run_supervised(lambda x: x, items)
+        """
+        assert flow_codes(tmp_path, src, roots=()) == ["ABG231"]
+
+
 class TestSuppression:
     def test_allow_with_reason_suppresses(self, tmp_path):
         src = """\
