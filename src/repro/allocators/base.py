@@ -20,9 +20,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Mapping
 
+import numpy as np
+
 from ..core.types import QuantumRecord
 
-__all__ = ["AvailabilityPolicy", "Allocator", "validate_allocation"]
+__all__ = [
+    "AvailabilityPolicy",
+    "Allocator",
+    "validate_allocation",
+    "validate_allocation_arrays",
+]
 
 
 class AvailabilityPolicy(ABC):
@@ -56,6 +63,23 @@ class Allocator(ABC):
         ``|J| <= P``).
         """
 
+    def allocate_batch(
+        self, ids: np.ndarray, requests: np.ndarray, total: int
+    ) -> np.ndarray | None:
+        """Array-native :meth:`allocate` for the batched simulation kernel.
+
+        ``ids`` are the active job ids in strictly increasing order and
+        ``requests`` the aligned integer requests; the return value is the
+        aligned allotment array.  An implementation must produce exactly the
+        allotments (and evolve exactly the internal state, e.g. rotation
+        counters) that ``allocate({ids[i]: requests[i], ...}, total)`` would —
+        the simulator mixes both entry points across quanta and the batched
+        path's bit-for-bit artifact guarantee depends on them agreeing.  The
+        base implementation returns ``None``: no array path, the caller falls
+        back to the mapping interface.
+        """
+        return None
+
 
 def validate_allocation(
     requests: Mapping[int, int], alloc: Mapping[int, int], total: int
@@ -72,4 +96,26 @@ def validate_allocation(
         if a > requests[j]:
             raise AssertionError(f"job {j} got more than it requested (not conservative)")
     if len(requests) <= total and any(a < 1 for a in alloc.values()):
+        raise AssertionError("with |J| <= P every job must receive a processor")
+
+
+def validate_allocation_arrays(
+    ids: np.ndarray, requests: np.ndarray, alloc: np.ndarray, total: int
+) -> None:
+    """:func:`validate_allocation` over aligned arrays (same invariants,
+    same messages) — the check the simulator applies on the array-native
+    allocation path, where coverage is structural alignment."""
+    if alloc.shape != requests.shape:
+        raise AssertionError("allocation must cover exactly the requesting jobs")
+    if int(alloc.sum()) > total:
+        raise AssertionError("allocated more processors than exist")
+    bad = np.flatnonzero(alloc < 0)
+    if bad.size:
+        raise AssertionError(f"job {int(ids[bad[0]])} got a negative allotment")
+    bad = np.flatnonzero(alloc > requests)
+    if bad.size:
+        raise AssertionError(
+            f"job {int(ids[bad[0]])} got more than it requested (not conservative)"
+        )
+    if len(requests) <= total and alloc.size and int(alloc.min()) < 1:
         raise AssertionError("with |J| <= P every job must receive a processor")

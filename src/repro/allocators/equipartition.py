@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from .base import Allocator
 
 __all__ = ["DynamicEquiPartitioning"]
@@ -67,3 +69,46 @@ class DynamicEquiPartitioning(Allocator):
             self._rotation += 1
             break
         return alloc
+
+    def allocate_batch(
+        self, ids: np.ndarray, requests: np.ndarray, total: int
+    ) -> np.ndarray:
+        """Array-native DEQ: the same waterfall over aligned arrays.
+
+        ``ids`` arrive sorted, so each redistribution round selects exactly
+        the jobs the mapping path's ``sorted(requests)`` scan would, and the
+        remainder rotation walks the identical order — allotments and the
+        ``_rotation`` counter evolve bit-for-bit alike whichever entry point
+        a quantum uses.
+        """
+        if total < 1:
+            raise ValueError("need at least one processor")
+        n = len(ids)
+        bad = np.flatnonzero(requests < 1)
+        if bad.size:
+            raise ValueError(
+                f"job {int(ids[bad[0]])} must request at least one processor"
+            )
+        if n > total:
+            raise ValueError(
+                f"DEQ requires |J| <= P (got {n} jobs, {total} processors)"
+            )
+        out = np.zeros(n, dtype=np.int64)
+        remaining = total
+        active = np.arange(n)
+        while active.size:
+            m = active.size
+            share = remaining // m
+            low = requests[active] <= share
+            if low.any():
+                sat = active[low]
+                out[sat] = requests[sat]
+                remaining -= int(requests[sat].sum())
+                active = active[~low]
+                continue
+            extra = remaining - share * m
+            offset = self._rotation % m
+            out[active] = share + (((np.arange(m) - offset) % m) < extra)
+            self._rotation += 1
+            break
+        return out

@@ -20,6 +20,7 @@ import heapq
 import json
 import subprocess
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
@@ -40,8 +41,9 @@ __all__ = [
     "measure_calibration",
 ]
 
-#: Schema version of the BENCH_<rev>.json artifact.
-BENCH_SCHEMA = 1
+#: Schema version of the BENCH_<rev>.json artifact.  2 added per-scenario
+#: ``peak_bytes``; schema-1 reports still load (peak reads as 0).
+BENCH_SCHEMA = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +59,10 @@ class ScenarioTiming:
     """``seconds / calibration_seconds`` — the machine-independent figure the
     regression gate compares."""
     repeats: int
+    peak_bytes: int = 0
+    """Peak python heap allocation (tracemalloc) of one scenario run,
+    measured on a separate untimed pass so instrumentation never taints the
+    wall times.  0 in reports predating schema 2."""
 
 
 @dataclass(slots=True)
@@ -126,14 +132,24 @@ def measure_calibration(repeats: int = 3) -> float:
     return best
 
 
-def _time_scenario(scenario: Scenario, scale: str, repeats: int) -> tuple[float, int]:
+def _time_scenario(
+    scenario: Scenario, scale: str, repeats: int
+) -> tuple[float, int, int]:
     units = scenario.run(scale)  # warm-up (also yields the unit count)
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
         scenario.run(scale)
         best = min(best, time.perf_counter() - t0)
-    return best, units
+    # Peak-memory pass, after (and outside) the timing loop: tracemalloc
+    # slows allocation several-fold, so it must never overlap a timed run.
+    tracemalloc.start()
+    try:
+        scenario.run(scale)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return best, units, int(peak)
 
 
 def run_bench(
@@ -154,7 +170,7 @@ def run_bench(
         calibration_seconds=calibration,
     )
     for scenario in SCENARIOS:
-        seconds, units = _time_scenario(scenario, scale, repeats)
+        seconds, units, peak = _time_scenario(scenario, scale, repeats)
         report.timings.append(
             ScenarioTiming(
                 name=scenario.name,
@@ -164,6 +180,7 @@ def run_bench(
                 units_per_second=units / seconds if seconds > 0 else float("inf"),
                 normalized=seconds / calibration,
                 repeats=repeats,
+                peak_bytes=peak,
             )
         )
     return report
@@ -201,7 +218,7 @@ def write_report(
 def load_report(path: str | Path) -> BenchReport:
     """Load a report (a baseline) previously written by :func:`write_report`."""
     data = json.loads(Path(path).read_text())
-    if data.get("schema") != BENCH_SCHEMA:
+    if data.get("schema") not in (1, BENCH_SCHEMA):
         raise ValueError(
             f"unsupported bench schema {data.get('schema')!r} in {path}"
         )
@@ -220,6 +237,7 @@ def load_report(path: str | Path) -> BenchReport:
                 units_per_second=float(entry["units_per_second"]),
                 normalized=float(entry["normalized"]),
                 repeats=int(entry["repeats"]),
+                peak_bytes=int(entry.get("peak_bytes", 0)),
             )
         )
     return report

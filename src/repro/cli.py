@@ -328,8 +328,14 @@ def _cmd_trim(args: argparse.Namespace) -> str:
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
-    from .experiments.runner import run_everything
+    from .experiments.runner import resume_status, run_everything
 
+    if args.resume:
+        completed, total = resume_status(args.out, args.scale)
+        print(
+            f"resuming: {completed}/{total} experiments already checkpointed "
+            f"({100.0 * completed / total:.0f}%)"
+        )
     result = run_everything(
         args.out,
         scale=args.scale,
@@ -398,7 +404,8 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     for t in report.timings:
         line = (
             f"  {t.name:<22} {t.seconds * 1e3:>9.2f} ms  "
-            f"{t.units_per_second:>12.0f} units/s  norm {t.normalized:>8.3f}"
+            f"{t.units_per_second:>12.0f} units/s  norm {t.normalized:>8.3f}  "
+            f"peak {t.peak_bytes / 1e6:>7.1f} MB"
         )
         if t.name in speedups:
             line += f"  x{speedups[t.name]:.2f} vs {baseline.rev}"  # type: ignore[union-attr]

@@ -17,6 +17,8 @@ the request recurrence actually implemented (Equation 3):
 
 from __future__ import annotations
 
+import numpy as np
+
 from .feedback import FeedbackPolicy
 from .types import QuantumRecord
 
@@ -53,6 +55,26 @@ class AControl(FeedbackPolicy):
         r = self.convergence_rate
         # Equivalent to d + K*e with K = (1-r)*A and e = 1 - d/A.
         return r * prev.request + (1.0 - r) * a_prev
+
+    def next_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+    ) -> np.ndarray | None:
+        # Elementwise transcription of next_request: A(q) = T1/Tinf (0 for an
+        # empty quantum), hold on A <= 0, else the Equation 3 recurrence.
+        # Each arithmetic op is the same IEEE-754 operation in the same order
+        # as the scalar path, so results are bit-identical.
+        a_prev = np.divide(
+            work, span, out=np.zeros_like(span, dtype=np.float64), where=span > 0
+        )
+        r = self.convergence_rate
+        return np.where(a_prev <= 0.0, request, r * request + (1.0 - r) * a_prev)
 
     def __repr__(self) -> str:
         return f"AControl(convergence_rate={self.convergence_rate!r})"

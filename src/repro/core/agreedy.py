@@ -25,6 +25,8 @@ and 4(b) that motivates ABG.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .feedback import FeedbackPolicy
 from .types import QuantumRecord
 
@@ -68,6 +70,33 @@ class AGreedy(FeedbackPolicy):
         if kind == "efficient-satisfied":
             return d * self.responsiveness
         return d
+
+    def next_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+    ) -> np.ndarray | None:
+        # Elementwise transcription of classify + next_request: utilization =
+        # T1 / (a * steps) (0 when the denominator is 0), then the MIMD rule.
+        # Same IEEE-754 ops in the same order as the scalar path, so results
+        # are bit-identical.  Also inherited by A-Steal, which reuses this
+        # exact rule over steal-based measurements.
+        denom = allotment * steps
+        util = np.divide(
+            work, denom, out=np.zeros_like(request, dtype=np.float64), where=denom > 0
+        )
+        return np.where(
+            util < self.utilization_threshold,
+            np.maximum(1.0, request / self.responsiveness),
+            np.where(
+                allotment >= request_int, request * self.responsiveness, request
+            ),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from .types import QuantumRecord
 
 __all__ = ["FeedbackPolicy"]
@@ -34,6 +36,35 @@ class FeedbackPolicy(ABC):
     @abstractmethod
     def next_request(self, prev: QuantumRecord) -> float:
         """``d(q+1)`` given quantum ``q``'s full record."""
+
+    def next_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+    ) -> np.ndarray | None:
+        """Vectorized ``d(q+1)`` for many jobs' quantum-``q`` measurements.
+
+        The multi-job batched simulation kernel
+        (:mod:`repro.sim.multi_batched`) calls this with one aligned float64 /
+        int64 array per :class:`QuantumRecord` field it consumes.  An
+        implementation must return ``result[i]`` *bit-identical* to
+        ``next_request(record_i)`` for every ``i`` — the kernel's byte-for-byte
+        artifact guarantee depends on it.  The base implementation returns
+        ``None``, which tells the kernel to fall back to per-record scalar
+        calls — always correct, just slower.
+
+        Contract for subclasses: a class that overrides :meth:`next_request`
+        while inheriting a non-``None`` ``next_request_batch`` from an
+        ancestor would silently diverge between the serial and batched
+        simulation paths — such a class must override this method too (or
+        ``return None`` to opt out of vectorization).
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

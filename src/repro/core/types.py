@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # annotation-only: keep numpy off this module's import path
+    import numpy as np
 
 __all__ = [
     "QuantumRecord",
     "JobTrace",
     "integer_request",
+    "quantum_records_from_columns",
     "transition_factor_of_series",
 ]
 
@@ -152,6 +156,108 @@ class QuantumRecord:
     def utilization(self) -> float:
         """Alias of :attr:`work_efficiency`; A-Greedy's efficiency signal."""
         return self.work_efficiency
+
+
+_RECORD_SETTERS = tuple(
+    QuantumRecord.__dict__[name].__set__
+    for name in (
+        "index",
+        "request",
+        "request_int",
+        "available",
+        "allotment",
+        "work",
+        "span",
+        "steps",
+        "quantum_length",
+        "start_step",
+    )
+)
+"""Direct slot-descriptor writers, bound once — the trusted batch
+constructor's way around the frozen dataclass's per-field
+``object.__setattr__`` calls."""
+
+
+def quantum_records_from_columns(
+    *,
+    index: Sequence[int],
+    request: "np.ndarray",
+    request_int: "np.ndarray",
+    available: "np.ndarray",
+    allotment: "np.ndarray",
+    work: "np.ndarray",
+    span: "np.ndarray",
+    steps: "np.ndarray",
+    quantum_length: int,
+    start_step: int,
+) -> list[QuantumRecord]:
+    """Construct one :class:`QuantumRecord` per row of aligned columns.
+
+    The batched simulation kernel produces a whole quantum's records as
+    aligned numpy columns; materializing them through the scalar constructor
+    would re-validate row by row in python.  This constructor instead checks
+    every :meth:`QuantumRecord.__post_init__` invariant once, vectorized over
+    the columns, and then builds the (identical) instances through direct
+    slot writes.  If any row is invalid, construction falls back to the
+    scalar constructor so the offending row raises exactly the error —
+    message, row order — the serial path would.
+    """
+    valid = (
+        (allotment >= 0)
+        & (available >= 0)
+        & (allotment <= available)
+        & (allotment <= request_int)
+        & (steps >= 0)
+        & (steps <= quantum_length)
+        & (work >= 0)
+        & (work <= allotment * steps)
+        & (span >= 0.0)
+        & (span <= work + 1e-9)
+    )
+    rows = zip(
+        index,
+        request.tolist(),
+        request_int.tolist(),
+        available.tolist(),
+        allotment.tolist(),
+        work.tolist(),
+        span.tolist(),
+        steps.tolist(),
+    )
+    if not valid.all() or (len(index) and min(index) < 1):
+        return [
+            QuantumRecord(i, d, di, p, a, t1, tinf, st, quantum_length, start_step)
+            for i, d, di, p, a, t1, tinf, st in rows
+        ]
+    new = object.__new__
+    (
+        s_index,
+        s_request,
+        s_request_int,
+        s_available,
+        s_allotment,
+        s_work,
+        s_span,
+        s_steps,
+        s_quantum_length,
+        s_start_step,
+    ) = _RECORD_SETTERS
+    out: list[QuantumRecord] = []
+    append = out.append
+    for i, d, di, p, a, t1, tinf, st in rows:
+        r = new(QuantumRecord)
+        s_index(r, i)
+        s_request(r, d)
+        s_request_int(r, di)
+        s_available(r, p)
+        s_allotment(r, a)
+        s_work(r, t1)
+        s_span(r, tinf)
+        s_steps(r, st)
+        s_quantum_length(r, quantum_length)
+        s_start_step(r, start_step)
+        append(r)
+    return out
 
 
 @dataclass(slots=True)

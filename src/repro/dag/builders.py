@@ -69,22 +69,33 @@ def fork_join_from_phases(phases: Sequence[tuple[int, int]]) -> Dag:
         if w < 1 or k < 1:
             raise ValueError(f"phase ({w}, {k}) must have width>=1 and levels>=1")
 
+    # Task (c, d) of a phase is base + c*k + d; the edge list is emitted
+    # phase by phase as numpy blocks — barrier edges (prev tail major, head
+    # minor), then chain edges (chain major, depth minor) — in exactly the
+    # order the scalar loops would append them, so the resulting Dag (and
+    # its adjacency orders) is identical.
     num_tasks = sum(w * k for w, k in phases)
-    edges: list[tuple[int, int]] = []
+    blocks: list[np.ndarray] = []
     base = 0
-    prev_tails: list[int] = []
+    prev_tails: np.ndarray | None = None
     for w, k in phases:
-        # Task (c, d) of this phase is base + c*k + d.
-        heads = [base + c * k for c in range(w)]
-        tails = [base + c * k + (k - 1) for c in range(w)]
-        for t in prev_tails:  # barrier from previous phase
-            for h in heads:
-                edges.append((t, h))
-        for c in range(w):  # chains within the phase
-            for d in range(k - 1):
-                edges.append((base + c * k + d, base + c * k + d + 1))
-        prev_tails = tails
+        ids = base + np.arange(w * k, dtype=np.int64).reshape(w, k)
+        if prev_tails is not None:  # barrier from previous phase
+            blocks.append(
+                np.stack(
+                    [np.repeat(prev_tails, w), np.tile(ids[:, 0], prev_tails.size)],
+                    axis=1,
+                )
+            )
+        if k > 1:  # chains within the phase
+            blocks.append(
+                np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+            )
+        prev_tails = ids[:, -1]
         base += w * k
+    edges = (
+        np.concatenate(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
+    )
     return Dag(num_tasks, edges)
 
 

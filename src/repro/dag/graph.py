@@ -29,6 +29,20 @@ class DagValidationError(ValueError):
     """Raised when an edge list does not describe a valid dag."""
 
 
+def _group_by(key: np.ndarray, val: np.ndarray, n: int) -> list[list[int]]:
+    """``out[k] = [val[i] for i in edge order if key[i] == k]`` for k in
+    0..n-1, built with a stable counting sort instead of per-edge appends."""
+    order = np.argsort(key, kind="stable")
+    vals = val[order].tolist()
+    bounds = np.cumsum(np.bincount(key, minlength=n)).tolist()
+    out: list[list[int]] = []
+    lo = 0
+    for hi in bounds:
+        out.append(vals[lo:hi])
+        lo = hi
+    return out
+
+
 class Dag:
     """An immutable unit-task dag.
 
@@ -38,7 +52,10 @@ class Dag:
         Number of unit-size tasks, identified ``0..num_tasks-1``.
     edges:
         Iterable of ``(parent, child)`` precedence pairs.  A task becomes
-        *ready* once all its parents have executed.
+        *ready* once all its parents have executed.  An ``(E, 2)`` integer
+        ndarray is accepted directly and validated/grouped vectorized —
+        same checks, same errors, same resulting adjacency (including
+        per-task ordering) as the equivalent pair list.
     """
 
     __slots__ = (
@@ -58,15 +75,22 @@ class Dag:
         if num_tasks <= 0:
             raise DagValidationError("a job must contain at least one task")
         self.num_tasks = int(num_tasks)
-        preds: list[list[int]] = [[] for _ in range(num_tasks)]
-        succs: list[list[int]] = [[] for _ in range(num_tasks)]
-        for u, v in edges:
-            if not (0 <= u < num_tasks and 0 <= v < num_tasks):
-                raise DagValidationError(f"edge ({u}, {v}) out of range")
-            if u == v:
-                raise DagValidationError(f"self-loop on task {u}")
-            preds[v].append(u)
-            succs[u].append(v)
+        if (
+            isinstance(edges, np.ndarray)
+            and edges.ndim == 2
+            and edges.shape[1] == 2
+        ):
+            preds, succs = self._adjacency_from_array(edges)
+        else:
+            preds = [[] for _ in range(num_tasks)]
+            succs = [[] for _ in range(num_tasks)]
+            for u, v in edges:
+                if not (0 <= u < num_tasks and 0 <= v < num_tasks):
+                    raise DagValidationError(f"edge ({u}, {v}) out of range")
+                if u == v:
+                    raise DagValidationError(f"self-loop on task {u}")
+                preds[v].append(u)
+                succs[u].append(v)
         self._preds = preds
         self._succs = succs
         self._topo_order, self._levels = self._toposort_and_levels()
@@ -79,6 +103,28 @@ class Dag:
         self._structure: "LevelStructure | None" = None
 
     # ------------------------------------------------------------------
+
+    def _adjacency_from_array(
+        self, edges: np.ndarray
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """Vectorized validation + adjacency grouping of an ``(E, 2)`` edge
+        array.  Errors surface for the first offending row, range before
+        self-loop, exactly as the scalar loop would raise them; grouping is
+        order-stable, so each task's parent/child lists match the scalar
+        loop's append order (and hold plain python ints)."""
+        n = self.num_tasks
+        e = edges.astype(np.int64, copy=False)
+        u, v = e[:, 0], e[:, 1]
+        oob = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        bad = oob | (u == v)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            if oob[i]:
+                raise DagValidationError(
+                    f"edge ({int(u[i])}, {int(v[i])}) out of range"
+                )
+            raise DagValidationError(f"self-loop on task {int(u[i])}")
+        return _group_by(v, u, n), _group_by(u, v, n)
 
     def _toposort_and_levels(self) -> tuple[np.ndarray, np.ndarray]:
         n = self.num_tasks

@@ -18,14 +18,40 @@ Two level shapes compose to give that property:
   predecessor on level ``l-1``: the task of rank ``j``.  Because level
   ``l-1`` drains as a rank prefix, level ``l``'s ready set is always the rank
   prefix of the same length, so it too drains as a rank prefix.
+- **permuted-chain level** — like a chain level (same width, exactly one
+  predecessor on level ``l-1`` per task) except the parent map is an
+  arbitrary *bijection* between the two levels instead of the identity on
+  ranks.
 
-A dag whose every level (after the sources) is a barrier or a chain level
-therefore decomposes into *segments* — maximal chain-linked runs of constant
-width, separated by barriers — and behaves exactly like a
-:class:`~repro.engine.phased.PhasedJob` whose phases are the segments.  All
-of the paper's workloads (fork-join jobs, constant-parallelism jobs, the
-Figure 2 fragment, chains, diamonds) are of this shape; random layered and
-series-parallel dags generally are not and keep the reference engine.
+Why permuted parents preserve counts-determinism
+------------------------------------------------
+Let level ``l`` have width ``w`` and let ``pi`` be the bijection mapping each
+level-``l`` task to its unique level-``l-1`` predecessor.  Suppose ``c`` of
+level ``l-1``'s tasks have completed (any ``c`` of them).  A level-``l`` task
+is enabled exactly when ``pi(t)`` has completed (its shallower predecessors,
+if any, finished even earlier: breadth-first keeps at most one level partial,
+so when level ``l-1`` started draining every level ``< l-1`` was already
+done).  Because ``pi`` is injective, each completed predecessor enables
+exactly one level-``l`` task, so the *number* of enabled tasks is exactly
+``c`` — independent of *which* ``c`` tasks completed.  By induction over
+steps, the per-level completion **counts** of the whole execution are
+therefore identical to those of the rank-aligned chain with the same widths:
+the ready count at every step, and hence the per-step completions, work,
+span, and steps of every quantum, coincide bit for bit.  What is *not*
+preserved is the identity of the drained tasks: level ``l`` no longer drains
+as an ascending-id prefix (the enabled set is ``pi``-scattered), so per-task
+schedule *recording* still requires the stricter rank-aligned shape — see
+:attr:`LevelStructure.rank_aligned` and
+:class:`repro.engine.batched.BatchedDagExecutor`.
+
+A dag whose every level (after the sources) is a barrier, chain, or
+permuted-chain level therefore decomposes into *segments* — maximal
+chain-linked runs of constant width, separated by barriers — and behaves
+exactly like a :class:`~repro.engine.phased.PhasedJob` whose phases are the
+segments.  All of the paper's workloads (fork-join jobs,
+constant-parallelism jobs, the Figure 2 fragment, chains, diamonds) are of
+this shape; random layered and series-parallel dags generally are not and
+keep the reference engine.
 
 The analysis runs once per dag in O(V + E) and is cached on the
 :class:`~repro.dag.graph.Dag` (see :attr:`Dag.structure`), so sweeps that
@@ -48,6 +74,7 @@ __all__ = ["LevelStructure", "analyze_level_structure"]
 _KIND_SOURCE = 0
 _KIND_CHAIN = 1
 _KIND_BARRIER = 2
+_KIND_PERMUTED = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,8 +96,8 @@ class LevelStructure:
     heap's ``(level, id)`` tie-break."""
 
     kinds: np.ndarray
-    """Per-level kind: 0 = source level, 1 = chain, 2 = barrier.  Only
-    meaningful when :attr:`level_major` is true."""
+    """Per-level kind: 0 = source level, 1 = chain, 2 = barrier,
+    3 = permuted chain.  Only meaningful when :attr:`level_major` is true."""
 
     seg_of: np.ndarray
     """Segment index of each level (``int64[num_levels]``)."""
@@ -87,6 +114,13 @@ class LevelStructure:
 
     level_major: bool
     """Whether the batched kernel may execute this dag."""
+
+    rank_aligned: bool
+    """Whether every chain-like level is the *identity* on ranks (no
+    permuted-chain levels).  Counts-determined execution needs only
+    :attr:`level_major`; per-step schedule *recording* additionally needs
+    rank alignment, because a permuted level drains in a data-dependent
+    order (see the module docstring)."""
 
     reject_reason: str | None
     """Why the dag is not level-major (``None`` when it is)."""
@@ -142,6 +176,7 @@ def analyze_level_structure(dag: "Dag") -> LevelStructure:
             seg_end=seg_end,
             cum_tasks=cum_tasks,
             level_major=reason is None,
+            rank_aligned=reason is None and not bool(np.any(kinds == _KIND_PERMUTED)),
             reject_reason=reason,
         )
 
@@ -159,30 +194,49 @@ def analyze_level_structure(dag: "Dag") -> LevelStructure:
     kinds[0] = _KIND_SOURCE
     for lvl in range(1, num_levels):
         w_prev = int(widths[lvl - 1])
-        chain_ok = int(widths[lvl]) == w_prev
+        permuted_ok = int(widths[lvl]) == w_prev
+        chain_ok = permuted_ok
         barrier_ok = True
+        parents_seen: set[int] = set()
         for t in level_tasks[lvl]:
             t_int = int(t)
             preds_prev = [
                 p for p in dag.predecessors(t_int) if int(levels0[p]) == lvl - 1
             ]
-            if chain_ok and not (
-                len(preds_prev) == 1
-                and int(rank_of[preds_prev[0]]) == int(rank_of[t])
-            ):
-                chain_ok = False
+            if permuted_ok:
+                if len(preds_prev) != 1:
+                    permuted_ok = chain_ok = False
+                else:
+                    parent = int(preds_prev[0])
+                    if parent in parents_seen:
+                        # Two tasks share a parent: the map is not injective,
+                        # so completing one prev-level task can enable 0 or 2
+                        # tasks — counts alone no longer determine readiness.
+                        permuted_ok = chain_ok = False
+                    else:
+                        parents_seen.add(parent)
+                        if chain_ok and int(rank_of[parent]) != int(rank_of[t]):
+                            chain_ok = False
             if barrier_ok and len(set(preds_prev)) != w_prev:
                 barrier_ok = False
-            if not chain_ok and not barrier_ok:
+            if not permuted_ok and not barrier_ok:
                 return reject(
-                    f"level {lvl + 1} is neither a chain nor a barrier level "
-                    f"(task {t_int} breaks both shapes)"
+                    f"level {lvl + 1} is neither a (possibly permuted) chain "
+                    f"nor a barrier level (task {t_int} breaks every shape)"
                 )
-        # Prefer the chain classification: it keeps a (w, k) run in one
-        # segment (a width-1 chain level is also trivially a barrier).
-        kinds[lvl] = _KIND_CHAIN if chain_ok else _KIND_BARRIER
+        # Prefer chain > permuted > barrier: chain-like classifications keep
+        # a (w, k) run in one segment (a width-1 chain level is also
+        # trivially a barrier), and a rank-aligned level is the stronger
+        # chain-like fact (it additionally permits schedule recording).
+        if chain_ok:
+            kinds[lvl] = _KIND_CHAIN
+        elif permuted_ok:
+            kinds[lvl] = _KIND_PERMUTED
+        else:
+            kinds[lvl] = _KIND_BARRIER
 
-    # Segments: a barrier level starts a new segment; chain levels extend it.
+    # Segments: a barrier level starts a new segment; chain-like levels
+    # (aligned or permuted) extend it.
     seg_of = np.zeros(num_levels, dtype=np.int64)
     starts = [0]
     for lvl in range(1, num_levels):

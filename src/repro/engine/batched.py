@@ -3,11 +3,11 @@
 :class:`BatchedDagExecutor` executes a whole scheduling quantum of B-Greedy's
 breadth-first discipline in O(segments touched) integer arithmetic instead of
 the reference engine's O(tasks) heap pops.  It applies to dags whose level
-structure is *counts-determined* (every level a chain or barrier level — see
-:mod:`repro.dag.structure`), which covers all of the paper's workloads: the
-scheduler's per-step decisions then depend only on per-level completion
-counts, and levels drain in ascending task-id order, so the engine can track
-``(frontier level, tasks done on it)`` instead of a ready heap.
+structure is *counts-determined* (every level a chain, permuted-chain, or
+barrier level — see :mod:`repro.dag.structure`), which covers all of the
+paper's workloads: the scheduler's per-step decisions then depend only on
+per-level completion counts, so the engine can track ``(frontier level,
+tasks done on it)`` instead of a ready heap.
 
 Why the arithmetic is exact
 ---------------------------
@@ -30,7 +30,11 @@ schedule-for-schedule against :class:`~repro.engine.explicit.ExplicitExecutor`
 ``record_schedule=True`` reconstructs the exact per-step task lists from the
 level-rank arrays (levels drain as ascending-id prefixes) — byte-identical to
 the reference engine's recording and replayable through
-:func:`repro.verify.auditor.audit_dag_schedule`.  ``strict=True`` re-validates
+:func:`repro.verify.auditor.audit_dag_schedule`.  Recording requires the
+*rank-aligned* structure (no permuted-chain levels): a permuted level's
+drain order depends on which parents completed first, which the counts model
+does not track — work/span/steps stay exact on permuted structures, the
+per-task identities do not.  ``strict=True`` re-validates
 every closed-form quantum against the invariants the arithmetic guarantees,
 like the phased engine's strict mode.
 """
@@ -95,6 +99,12 @@ class BatchedDagExecutor(JobExecutor):
         if not structure.level_major:
             raise UnsupportedDagStructure(
                 f"dag is not level-major: {structure.reject_reason}"
+            )
+        if record_schedule and not structure.rank_aligned:
+            raise UnsupportedDagStructure(
+                "schedule recording requires rank-aligned levels: a "
+                "permuted-chain level drains in a data-dependent order the "
+                "counts model cannot reconstruct; use the reference engine"
             )
         self._dag = dag
         self._struct: LevelStructure = structure

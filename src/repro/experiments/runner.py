@@ -52,6 +52,7 @@ __all__ = [
     "ExperimentOutcome",
     "RunInterrupted",
     "RunnerResult",
+    "resume_status",
     "run_everything",
     "SCALES",
 ]
@@ -258,6 +259,21 @@ def _markdown_table(name: str, records: list[dict[str, Any]]) -> str:
         if series_fields:
             text += "\n"
     return text
+
+
+def resume_status(out_dir: str | Path, scale: str = "reduced") -> tuple[int, int]:
+    """``(completed, total)`` experiments a ``--resume`` run at this scale
+    would replay from ``<out>/.journal`` versus execute fresh.
+
+    Journal keys are content-addressed over the experiment name, scale, and
+    driver kwargs, so a checkpoint from a different scale (or an experiment
+    whose parameters changed since) correctly counts as not completed.
+    An absent or empty journal reports ``(0, total)``.
+    """
+    items = _experiments(scale)
+    journal = CheckpointJournal(Path(out_dir) / JOURNAL_DIRNAME)
+    completed = sum(1 for item in items if _experiment_key(scale, item) in journal)
+    return completed, len(items)
 
 
 def run_everything(

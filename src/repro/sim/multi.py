@@ -10,22 +10,48 @@ A job that completes mid-quantum releases its processors at its completion
 step for accounting purposes (no further waste accrues), but they become
 re-allocatable only at the next boundary — the conservative reading of the
 paper's quantum-granularity reallocation.
+
+Execution backends
+------------------
+``batch="auto"`` (the default) routes every job whose structure is
+counts-determined through the multi-job batched kernel
+(:mod:`repro.sim.multi_batched`): one numpy step loop advances all of them
+per quantum, with the remaining jobs falling back to their per-job executors
+inside the same quantum.  ``batch="off"`` forces the serial per-job loop for
+everything.  Both paths produce bit-identical traces — the kernel replays
+the same closed-form chunk sequence as the per-job engines (see the kernel
+module docstring for the argument, and ``tests/test_sim_multi_batched.py``
+for the cross-validation).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Literal, Sequence
 
-from ..allocators.base import Allocator, validate_allocation
+import numpy as np
+
+from ..allocators.base import (
+    Allocator,
+    validate_allocation,
+    validate_allocation_arrays,
+)
 from ..core.overhead import NO_OVERHEAD, ReallocationOverhead
-from ..core.types import JobTrace, QuantumRecord, integer_request
+from ..core.types import (
+    JobTrace,
+    QuantumRecord,
+    integer_request,
+    quantum_records_from_columns,
+)
 from ..engine.base import JobExecutor
 from .jobs import JobSpec, make_executor
 from .metrics import makespan, mean_response_time
+from .multi_batched import MultiBatchKernel, segment_profile
 from .single import run_quantum_with_overhead
 
 __all__ = ["MultiJobResult", "simulate_job_set"]
+
+BatchChoice = Literal["auto", "off"]
 
 
 @dataclass(slots=True)
@@ -55,12 +81,25 @@ class MultiJobResult:
         return sum(t.total_work for t in self.traces.values())
 
 
+def _scalar_feedback(
+    kernel: MultiBatchKernel, finished_pos: list[int], nk: int
+) -> None:
+    """Per-record feedback for kernel slots whose policy has no vectorized
+    form — reads the record just appended to each unfinished slot's trace."""
+    fin = set(finished_pos)
+    for pos in range(nk):
+        if pos not in fin:
+            slot = kernel.slots[pos]
+            kernel.request[pos] = slot.policy.next_request(slot.trace.records[-1])
+
+
 @dataclass(slots=True)
 class _ActiveJob:
     spec: JobSpec
     executor: JobExecutor
     trace: JobTrace
     request: float
+    seq: int
     next_q: int = 1
 
 
@@ -73,12 +112,15 @@ def simulate_job_set(
     max_quanta: int = 10_000_000,
     overhead: ReallocationOverhead = NO_OVERHEAD,
     strict: bool = False,
+    batch: BatchChoice = "auto",
 ) -> MultiJobResult:
     """Run a job set to completion under a multiprogrammed allocator.
 
     Job ids default to the spec's position in ``specs``; explicit
     ``JobSpec.job_id`` values must be unique.  ``strict=True`` enables the
-    engines' per-step invariant checking for every job.
+    engines' per-step invariant checking for every job.  ``batch`` selects
+    the execution backend (see the module docstring); results do not depend
+    on it.
     """
     if processors < 1:
         raise ValueError("need at least one processor")
@@ -86,6 +128,8 @@ def simulate_job_set(
         raise ValueError("quantum length must be >= 1")
     if not specs:
         raise ValueError("job set is empty")
+    if batch not in ("auto", "off"):
+        raise ValueError(f"unknown batch mode {batch!r}; pick 'auto' or 'off'")
 
     pending: list[tuple[int, int, JobSpec]] = []  # (release, id, spec)
     seen_ids: set[int] = set()
@@ -98,40 +142,193 @@ def simulate_job_set(
     pending.sort(key=lambda item: (item[0], item[1]))
     released = {jid: rel for rel, jid, _ in pending}
 
-    active: dict[int, _ActiveJob] = {}
+    kernel = MultiBatchKernel(strict=strict) if batch == "auto" else None
+    fallback: dict[int, _ActiveJob] = {}
     done: dict[int, JobTrace] = {}
     t = 0
     quanta = 0
+    seq = 0
+    cursor = 0  # next admission index into the sorted release list
     L = quantum_length
 
-    while pending or active:
+    while (
+        cursor < len(pending)
+        or fallback
+        or (kernel is not None and len(kernel) > 0)
+    ):
         if quanta >= max_quanta:
             raise RuntimeError(f"job set did not finish within {max_quanta} quanta")
         # Admit jobs released at or before this boundary.
-        while pending and pending[0][0] <= t:
-            rel, jid, spec = pending.pop(0)
-            executor = make_executor(
-                spec.job, spec.discipline, strict=strict, engine=spec.engine
-            )
+        while cursor < len(pending) and pending[cursor][0] <= t:
+            rel, jid, spec = pending[cursor]
+            cursor += 1
             trace = JobTrace(quantum_length=L, release_time=rel, job_id=jid)
-            active[jid] = _ActiveJob(
-                spec=spec,
-                executor=executor,
-                trace=trace,
-                request=spec.feedback.first_request(),
+            profile = (
+                segment_profile(spec, strict=strict) if kernel is not None else None
             )
-        if not active:
+            if profile is not None:
+                assert kernel is not None
+                kernel.admit(
+                    jid=jid,
+                    seq=seq,
+                    spec=spec,
+                    trace=trace,
+                    profile=profile,
+                    request=spec.feedback.first_request(),
+                )
+            else:
+                executor = make_executor(
+                    spec.job, spec.discipline, strict=strict, engine=spec.engine
+                )
+                fallback[jid] = _ActiveJob(
+                    spec=spec,
+                    executor=executor,
+                    trace=trace,
+                    request=spec.feedback.first_request(),
+                    seq=seq,
+                )
+            seq += 1
+        nk = len(kernel) if kernel is not None else 0
+        if not fallback and nk == 0:
             # Fast-forward to the boundary at/after the next release.
-            next_release = pending[0][0]
+            next_release = pending[cursor][0]
             t = max(t + L, ((next_release + L - 1) // L) * L)
             continue
 
-        requests = {jid: integer_request(job.request) for jid, job in active.items()}
-        alloc = allocator.allocate(requests, processors)
-        validate_allocation(requests, alloc, processors)
+        # One machine-wide allocation over every active job.  When the kernel
+        # holds the whole active set its array representation carries straight
+        # through allocation: requests go to the allocator's array-native
+        # entry point (id-sorted, as its mapping path would scan them) and the
+        # validated grants scatter back to slot order — no per-quantum dicts.
+        # Any fallback job, or an allocator without an array path, reverts to
+        # the mapping interface in admission order (content-identical either
+        # way; order preserved for fidelity to the serial loop under
+        # order-sensitive allocators).
+        alloc_arr: np.ndarray | None = None
+        if nk:
+            assert kernel is not None
+            kernel_req_int = kernel.integer_requests()
+            if not fallback:
+                ids_sorted, order = kernel.allocation_order()
+                req_sorted = kernel_req_int[order]
+                grants = allocator.allocate_batch(ids_sorted, req_sorted, processors)
+                if grants is not None:
+                    validate_allocation_arrays(
+                        ids_sorted, req_sorted, grants, processors
+                    )
+                    alloc_arr = np.empty(nk, dtype=np.int64)
+                    alloc_arr[order] = grants
+        if alloc_arr is None:
+            if nk:
+                assert kernel is not None
+                kri = kernel_req_int.tolist()
+                if fallback:
+                    by_seq = [
+                        (slot.seq, slot.jid, ri)
+                        for slot, ri in zip(kernel.slots, kri)
+                    ]
+                    for jid, job in fallback.items():
+                        by_seq.append((job.seq, jid, integer_request(job.request)))
+                    by_seq.sort()
+                    requests = {jid: ri for _, jid, ri in by_seq}
+                else:
+                    requests = dict(zip(kernel.jids, kri))
+            else:
+                requests = {
+                    jid: integer_request(job.request) for jid, job in fallback.items()
+                }
+            alloc = allocator.allocate(requests, processors)
+            validate_allocation(requests, alloc, processors)
+            if nk:
+                assert kernel is not None
+                alloc_arr = np.fromiter(
+                    map(alloc.__getitem__, kernel.jids), dtype=np.int64, count=nk
+                )
 
-        finished_ids: list[int] = []
-        for jid, job in active.items():
+        finished_jobs: list[tuple[int, int, JobTrace]] = []  # (seq, id, trace)
+
+        if nk:
+            assert kernel is not None
+            assert alloc_arr is not None
+            batch_out = kernel.execute_quantum(alloc_arr, L, overhead)
+            # Under a partitioning allocator the processors "available" to a
+            # job are exactly its (possibly trimmed) share when deprived;
+            # when satisfied the machine-wide P upper-bounds availability.
+            avail = np.where(alloc_arr < kernel_req_int, alloc_arr, processors)
+            # Columnar record materialization: one vectorized validation pass
+            # over the whole quantum, then trusted per-row construction.  The
+            # kernel issues indices sequentially from 1, so JobTrace.append's
+            # ordering check cannot fire and records are appended directly,
+            # skipping its per-record overhead.
+            recs = quantum_records_from_columns(
+                index=[slot.next_q for slot in kernel.slots],
+                request=kernel.request,
+                request_int=kernel_req_int,
+                available=avail,
+                allotment=alloc_arr,
+                work=batch_out.work,
+                span=batch_out.span,
+                steps=batch_out.steps,
+                quantum_length=L,
+                start_step=t,
+            )
+            for slot, record in zip(kernel.slots, recs):
+                slot.trace.records.append(record)
+                slot.next_q += 1
+            finished_pos = np.flatnonzero(batch_out.finished).tolist()
+            # Feedback, vectorized per policy instance (experiment job sets
+            # share one policy object across jobs, so the common case is one
+            # whole-array batch call).  Requests computed for slots that just
+            # finished are discarded with the slot, exactly like the serial
+            # loop, which never updates a finished job's request.
+            uniform = kernel.uniform_policy
+            if uniform is not None:
+                nxt = uniform.next_request_batch(
+                    request=kernel.request,
+                    request_int=kernel_req_int,
+                    allotment=alloc_arr,
+                    work=batch_out.work,
+                    span=batch_out.span,
+                    steps=batch_out.steps,
+                )
+                if nxt is None:
+                    _scalar_feedback(kernel, finished_pos, nk)
+                else:
+                    kernel.request = nxt
+            else:
+                groups: dict[int, list[int]] = {}
+                fin_set = set(finished_pos)
+                for pos in range(nk):
+                    if pos not in fin_set:
+                        groups.setdefault(id(kernel.slots[pos].policy), []).append(
+                            pos
+                        )
+                for positions in groups.values():
+                    policy = kernel.slots[positions[0]].policy
+                    sub = np.asarray(positions, dtype=np.int64)
+                    nxt = policy.next_request_batch(
+                        request=kernel.request[sub],
+                        request_int=kernel_req_int[sub],
+                        allotment=alloc_arr[sub],
+                        work=batch_out.work[sub],
+                        span=batch_out.span[sub],
+                        steps=batch_out.steps[sub],
+                    )
+                    if nxt is None:
+                        for pos in positions:
+                            slot = kernel.slots[pos]
+                            kernel.request[pos] = slot.policy.next_request(
+                                slot.trace.records[-1]
+                            )
+                    else:
+                        kernel.request[sub] = nxt
+            for pos in finished_pos:
+                slot = kernel.slots[pos]
+                finished_jobs.append((slot.seq, slot.jid, slot.trace))
+            if finished_pos:
+                kernel.remove(finished_pos)
+
+        for jid, job in fallback.items():
             a = alloc[jid]
             prev_a = job.trace.records[-1].allotment if job.trace.records else None
             ex = run_quantum_with_overhead(job.executor, a, L, prev_a, overhead)
@@ -139,9 +336,6 @@ def simulate_job_set(
                 index=job.next_q,
                 request=job.request,
                 request_int=requests[jid],
-                # Under a partitioning allocator the processors "available" to
-                # a job are exactly its (possibly trimmed) share when deprived;
-                # when satisfied the machine-wide P upper-bounds availability.
                 available=a if a < requests[jid] else processors,
                 allotment=a,
                 work=ex.work,
@@ -153,11 +347,14 @@ def simulate_job_set(
             job.trace.append(record)
             job.next_q += 1
             if ex.finished:
-                finished_ids.append(jid)
+                finished_jobs.append((job.seq, jid, job.trace))
             else:
                 job.request = job.spec.feedback.next_request(record)
-        for jid in finished_ids:
-            done[jid] = active.pop(jid).trace
+        # Finished traces land in admission order, matching the serial
+        # loop's active-dict iteration order byte for byte.
+        for _seq, jid, trace in sorted(finished_jobs):
+            fallback.pop(jid, None)
+            done[jid] = trace
         t += L
         quanta += 1
 

@@ -51,12 +51,14 @@ __all__ = ["FlowReport", "analyze_paths", "DEFAULT_ROOT_PATTERNS"]
 #: Declared roots (``module-glob::qualname-glob``) for dispatch the call
 #: graph cannot follow because the callee travels through a data registry:
 #: the bench scenario table (``SCENARIOS``), the experiment-runner registry
-#: (``_experiments()``), the engine protocol surface workers drive, and
-#: the supervised pool's picklable worker entrypoint (every ``pool.submit``
+#: (``_experiments()``), the engine protocol surface workers drive (which
+#: includes the multi-job batched kernel's quantum entry point), and the
+#: supervised pool's picklable worker entrypoint (every ``pool.submit``
 #: funnels through it, so everything it calls runs inside a worker).
 DEFAULT_ROOT_PATTERNS: tuple[str, ...] = (
     "repro.bench.scenarios::_*",
     "repro.engine.*::*.execute_quantum",
+    "repro.sim.multi_batched::*.execute_quantum",
     "repro.experiments.*::run_*",
     "repro.runtime.supervisor::_invoke_unit",
 )

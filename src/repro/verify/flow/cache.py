@@ -26,7 +26,7 @@ __all__ = ["SummaryCache", "DEFAULT_CACHE_PATH", "source_digest"]
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_PATH = Path(".abg_cache") / "flow-summaries.json"
 
-_SCHEMA = 2
+_SCHEMA = 3  # 3: batched multi-job kernel added to the declared root set
 
 
 def source_digest(source: str) -> str:

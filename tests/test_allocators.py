@@ -189,6 +189,124 @@ class TestDEQProperties:
                     assert alloc[j] <= top + 1
 
 
+class TestDEQArrayPath:
+    """allocate_batch must agree with allocate bit for bit — outputs AND
+    internal rotation state — because the simulator mixes both entry points
+    across quanta."""
+
+    @staticmethod
+    def _random_case(rng):
+        n = int(rng.integers(1, 17))
+        total = int(rng.integers(n, 200))
+        ids = np.sort(rng.choice(1000, size=n, replace=False)).astype(np.int64)
+        reqs = rng.integers(1, 60, size=n).astype(np.int64)
+        return ids, reqs, total
+
+    def test_matches_mapping_path_with_rotation_lockstep(self):
+        rng = np.random.default_rng(7)
+        dict_deq = DynamicEquiPartitioning()
+        arr_deq = DynamicEquiPartitioning()
+        for _ in range(300):
+            ids, reqs, total = self._random_case(rng)
+            expected = dict_deq.allocate(
+                {int(i): int(r) for i, r in zip(ids, reqs)}, total
+            )
+            got = arr_deq.allocate_batch(ids, reqs, total)
+            assert got is not None
+            assert got.tolist() == [expected[int(i)] for i in ids]
+            assert arr_deq._rotation == dict_deq._rotation
+
+    def test_entry_points_interchangeable_on_one_instance(self):
+        """Alternating entry points on one allocator evolves the same state
+        as a dict-only twin."""
+        rng = np.random.default_rng(8)
+        mixed = DynamicEquiPartitioning()
+        twin = DynamicEquiPartitioning()
+        for step in range(100):
+            ids, reqs, total = self._random_case(rng)
+            requests = {int(i): int(r) for i, r in zip(ids, reqs)}
+            expected = twin.allocate(requests, total)
+            if step % 2:
+                got = dict(mixed.allocate(requests, total))
+            else:
+                arr = mixed.allocate_batch(ids, reqs, total)
+                got = {int(i): int(a) for i, a in zip(ids, arr)}
+            assert got == expected
+
+    def test_validation_errors_match_mapping_path(self):
+        deq = DynamicEquiPartitioning()
+        one = np.asarray([5], dtype=np.int64)
+        with pytest.raises(ValueError, match="at least one processor"):
+            deq.allocate_batch(one, np.asarray([3], dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="job 5 must request at least one"):
+            deq.allocate_batch(one, np.asarray([0], dtype=np.int64), 4)
+        ids = np.arange(3, dtype=np.int64)
+        reqs = np.ones(3, dtype=np.int64)
+        with pytest.raises(ValueError, match=r"\|J\| <= P"):
+            deq.allocate_batch(ids, reqs, 2)
+
+    def test_base_allocator_has_no_array_path(self):
+        rr = RoundRobinAllocator()
+        assert (
+            rr.allocate_batch(
+                np.asarray([1], dtype=np.int64), np.asarray([2], dtype=np.int64), 4
+            )
+            is None
+        )
+
+
+class TestValidateAllocationArrays:
+    ids = np.asarray([3, 7, 9], dtype=np.int64)
+    reqs = np.asarray([4, 10, 2], dtype=np.int64)
+
+    def test_valid_passes(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        validate_allocation_arrays(
+            self.ids, self.reqs, np.asarray([4, 6, 2], dtype=np.int64), 12
+        )
+
+    def test_shape_mismatch(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        with pytest.raises(AssertionError, match="exactly the requesting jobs"):
+            validate_allocation_arrays(
+                self.ids, self.reqs, np.asarray([4, 6], dtype=np.int64), 12
+            )
+
+    def test_oversubscription(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        with pytest.raises(AssertionError, match="more processors than exist"):
+            validate_allocation_arrays(
+                self.ids, self.reqs, np.asarray([4, 10, 2], dtype=np.int64), 10
+            )
+
+    def test_negative_allotment_names_job(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        with pytest.raises(AssertionError, match="job 7 got a negative"):
+            validate_allocation_arrays(
+                self.ids, self.reqs, np.asarray([4, -1, 2], dtype=np.int64), 12
+            )
+
+    def test_over_request_names_job(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        with pytest.raises(AssertionError, match="job 9 got more than it requested"):
+            validate_allocation_arrays(
+                self.ids, self.reqs, np.asarray([4, 5, 3], dtype=np.int64), 20
+            )
+
+    def test_starved_job_with_enough_processors(self):
+        from repro.allocators.base import validate_allocation_arrays
+
+        with pytest.raises(AssertionError, match="every job must receive"):
+            validate_allocation_arrays(
+                self.ids, self.reqs, np.asarray([4, 8, 0], dtype=np.int64), 12
+            )
+
+
 # ---------------------------------------------------------------------------
 # Round-robin
 # ---------------------------------------------------------------------------

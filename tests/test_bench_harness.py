@@ -46,6 +46,8 @@ class TestScenarios:
         assert len(names) == len(set(names))
         assert "explicit-reference" in names
         assert "batched-kernel" in names
+        assert "multi-serial" in names
+        assert "multi-batched" in names
 
     @pytest.mark.slow
     def test_smoke_run_covers_every_scenario(self):
@@ -92,6 +94,53 @@ class TestReportRoundTrip:
         bad.write_text(json.dumps({"schema": 99}))
         with pytest.raises(ValueError):
             load_report(bad)
+
+    def test_peak_bytes_roundtrip(self, tmp_path: Path):
+        report = _report("mem", {"x": 1.0})
+        report.timings[0] = ScenarioTiming(
+            name="x",
+            description="",
+            seconds=0.05,
+            units=100,
+            units_per_second=2000.0,
+            normalized=1.0,
+            repeats=1,
+            peak_bytes=123456,
+        )
+        loaded = load_report(write_report(report, tmp_path))
+        assert loaded.timings[0].peak_bytes == 123456
+
+    def test_schema1_report_loads_with_zero_peak(self, tmp_path: Path):
+        """Reports written before peak-memory tracking (schema 1, no
+        peak_bytes key) still load; peak reads as 0."""
+        legacy = {
+            "schema": 1,
+            "rev": "old",
+            "scale": "smoke",
+            "calibration_seconds": 0.05,
+            "scenarios": [
+                {
+                    "name": "x",
+                    "description": "",
+                    "seconds": 0.05,
+                    "units": 100,
+                    "units_per_second": 2000.0,
+                    "normalized": 1.0,
+                    "repeats": 1,
+                }
+            ],
+        }
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps(legacy))
+        loaded = load_report(path)
+        assert loaded.timings[0].peak_bytes == 0
+        assert loaded.timings[0].normalized == 1.0
+
+    def test_committed_baselines_record_peak_memory(self):
+        """The refreshed baselines carry schema-2 peak_bytes measurements."""
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_baseline_smoke.json"
+        report = load_report(path)
+        assert all(t.peak_bytes > 0 for t in report.timings)
 
     def test_committed_baselines_load(self):
         """The baselines committed in benchmarks/ stay loadable and cover

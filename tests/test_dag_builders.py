@@ -93,6 +93,74 @@ class TestForkJoinFromPhases:
             builders.fork_join_from_phases([(3, 0)])
 
 
+def _scalar_fork_join_reference(phases):
+    """The pre-vectorization edge-emission order, kept as the test oracle:
+    per phase, barrier edges (prev tail major, head minor) then chain edges
+    (chain major, depth minor)."""
+    from repro.dag.graph import Dag
+
+    edges: list[tuple[int, int]] = []
+    base = 0
+    prev_tails: list[int] | None = None
+    for w, k in phases:
+        ids = [[base + c * k + d for d in range(k)] for c in range(w)]
+        if prev_tails is not None:
+            for t in prev_tails:
+                for c in range(w):
+                    edges.append((t, ids[c][0]))
+        for c in range(w):
+            for d in range(k - 1):
+                edges.append((ids[c][d], ids[c][d + 1]))
+        prev_tails = [ids[c][-1] for c in range(w)]
+        base += w * k
+    return Dag(sum(w * k for w, k in phases), edges)
+
+
+class TestForkJoinVectorizedBuilder:
+    """The numpy edge-list builder must yield the *identical* Dag — same
+    adjacency contents and per-task ordering — as the scalar loops did."""
+
+    CASES = [
+        [(1, 1)],
+        [(1, 4)],
+        [(5, 1)],
+        [(2, 3)],
+        [(1, 3), (4, 2), (1, 1), (8, 5)],
+        [(3, 1), (1, 2), (3, 1)],
+        [(2, 2), (2, 2), (2, 2)],
+    ]
+
+    def test_known_shapes_identical(self):
+        for phases in self.CASES:
+            got = builders.fork_join_from_phases(phases)
+            want = _scalar_fork_join_reference(phases)
+            assert got == want
+            for t in range(want.num_tasks):
+                assert list(got.predecessors(t)) == list(want.predecessors(t))
+                assert list(got.successors(t)) == list(want.successors(t))
+            assert list(got.levels) == list(want.levels)
+            assert list(got.topological_order()) == list(want.topological_order())
+
+    def test_random_shapes_identical(self):
+        rng = np.random.default_rng(606)
+        for _ in range(25):
+            phases = [
+                (int(rng.integers(1, 9)), int(rng.integers(1, 6)))
+                for _ in range(int(rng.integers(1, 7)))
+            ]
+            got = builders.fork_join_from_phases(phases)
+            want = _scalar_fork_join_reference(phases)
+            assert got == want
+            for t in range(want.num_tasks):
+                assert list(got.successors(t)) == list(want.successors(t))
+
+    def test_adjacency_holds_plain_ints(self):
+        d = builders.fork_join_from_phases([(2, 2), (3, 1)])
+        for t in range(d.num_tasks):
+            assert all(type(p) is int for p in d.predecessors(t))
+            assert all(type(s) is int for s in d.successors(t))
+
+
 class TestForkJoin:
     def test_two_iterations(self):
         d = builders.fork_join(2, 4, 3, 2)

@@ -130,6 +130,72 @@ class TestEquality:
         assert Dag(1, []) != "dag"
 
 
+class TestArrayEdges:
+    """An (E, 2) ndarray edge list must produce the identical Dag — same
+    validation errors, same adjacency contents, ordering, and int types —
+    as the equivalent pair list."""
+
+    def test_ndarray_equals_list(self):
+        edges = [(0, 2), (1, 2), (0, 3), (2, 3)]
+        a = Dag(4, edges)
+        b = Dag(4, np.asarray(edges, dtype=np.int64))
+        assert a == b and hash(a) == hash(b)
+        for t in range(4):
+            assert list(a.predecessors(t)) == list(b.predecessors(t))
+            assert list(a.successors(t)) == list(b.successors(t))
+
+    def test_empty_edge_array(self):
+        d = Dag(3, np.empty((0, 2), dtype=np.int64))
+        assert d == Dag(3, [])
+
+    def test_adjacency_holds_plain_ints(self):
+        d = Dag(3, np.asarray([(0, 1), (1, 2)], dtype=np.int64))
+        assert all(type(p) is int for p in d.predecessors(2))
+        assert all(type(s) is int for s in d.successors(0))
+
+    def test_duplicate_edges_kept_in_order(self):
+        edges = [(0, 1), (0, 1)]
+        a = Dag(2, edges)
+        b = Dag(2, np.asarray(edges, dtype=np.int64))
+        assert list(b.predecessors(1)) == list(a.predecessors(1)) == [0, 0]
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [(0, 3), (0, 1)],  # out of range
+            [(-1, 0)],  # negative
+            [(0, 1), (2, 2)],  # self-loop
+            [(2, 2), (0, 9)],  # first bad row wins; range checked first
+        ],
+    )
+    def test_error_messages_match_scalar_path(self, edges):
+        with pytest.raises(DagValidationError) as scalar_err:
+            Dag(3, edges)
+        with pytest.raises(DagValidationError) as array_err:
+            Dag(3, np.asarray(edges, dtype=np.int64))
+        assert str(array_err.value) == str(scalar_err.value)
+
+    def test_cycle_still_rejected(self):
+        with pytest.raises(DagValidationError, match="cycle"):
+            Dag(2, np.asarray([(0, 1), (1, 0)], dtype=np.int64))
+
+    def test_random_dags_identical(self):
+        rng = np.random.default_rng(99)
+        for _ in range(30):
+            n = int(rng.integers(2, 20))
+            edges = [
+                (u, v)
+                for v in range(1, n)
+                for u in range(v)
+                if rng.random() < 0.3
+            ]
+            a = Dag(n, edges)
+            b = Dag(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+            assert a == b
+            for t in range(n):
+                assert list(a.successors(t)) == list(b.successors(t))
+
+
 @st.composite
 def random_dag_edges(draw):
     """Random dags as forward edges over a shuffled ordering (always acyclic)."""

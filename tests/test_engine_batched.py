@@ -157,6 +157,88 @@ class TestSelection:
             make_executor(dag, engine="warp")  # type: ignore[arg-type]
 
 
+def permuted_chain_dag(width: int, levels: int, seed: int):
+    """Constant-width dag whose inter-level parent maps are random
+    non-identity bijections — level-major but not rank-aligned."""
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    for lvl in range(1, levels):
+        pi = rng.permutation(width)
+        if np.array_equal(pi, np.arange(width)):
+            pi = np.roll(pi, 1)
+        prev, cur = (lvl - 1) * width, lvl * width
+        edges.extend((int(prev + pi[j]), int(cur + j)) for j in range(width))
+    from repro.dag.graph import Dag
+
+    return Dag(width * levels, edges)
+
+
+class TestPermutedStructures:
+    """The PR 5 lift: permuted-parent constant-width levels remain
+    counts-determined (see the repro.dag.structure module docstring for the
+    injectivity argument), so the batched kernel executes them — but
+    schedule *recording* still requires rank alignment."""
+
+    def test_level_major_but_not_rank_aligned(self):
+        dag = permuted_chain_dag(4, 5, seed=1)
+        s = analyze_level_structure(dag)
+        assert s.level_major
+        assert not s.rank_aligned
+        assert s.segment_phases() == [(4, 5)]
+
+    def test_identity_maps_stay_rank_aligned(self):
+        # the same shape with identity parent maps is an ordinary chain run
+        dag = builders.fork_join_from_phases([(4, 5)])
+        s = analyze_level_structure(dag)
+        assert s.level_major and s.rank_aligned
+
+    def test_shared_parent_rejected(self):
+        """A non-injective parent map is NOT counts-determined: completing
+        one parent can enable two tasks."""
+        from repro.dag.graph import Dag
+
+        # width-2 levels; both level-2 tasks hang off task 0
+        dag = Dag(4, [(0, 2), (0, 3)])
+        s = analyze_level_structure(dag)
+        assert not s.level_major
+
+    def test_supports_batched_and_executes(self):
+        dag = permuted_chain_dag(3, 6, seed=2)
+        assert supports_batched(dag)
+        BatchedDagExecutor(dag)  # does not raise
+
+    def test_counts_match_reference_engine(self):
+        rng = np.random.default_rng(707)
+        for seed in range(4):
+            dag = permuted_chain_dag(int(rng.integers(2, 8)), int(rng.integers(2, 9)), seed=seed)
+            drive_both(dag, rng)
+
+    def test_barrier_separated_permuted_segments(self):
+        """Permuted segment, then a barrier into a second (chain) segment."""
+        from repro.dag.graph import Dag
+
+        # levels: [0,1,2] -> permuted -> [3,4,5] -> barrier -> [6,7] -> chain -> [8,9]
+        edges = [(0, 4), (1, 5), (2, 3)]
+        edges += [(p, h) for p in (3, 4, 5) for h in (6, 7)]
+        edges += [(6, 8), (7, 9)]
+        dag = Dag(10, edges)
+        s = analyze_level_structure(dag)
+        assert s.level_major and not s.rank_aligned
+        assert s.segment_phases() == [(3, 2), (2, 2)]
+        drive_both(dag, np.random.default_rng(808))
+
+    def test_recording_rejected_on_permuted_structure(self):
+        dag = permuted_chain_dag(4, 4, seed=3)
+        with pytest.raises(UnsupportedDagStructure, match="rank-aligned"):
+            BatchedDagExecutor(dag, record_schedule=True)
+        # the reference engine records such dags fine
+        ExplicitExecutor(dag, "breadth-first", record_schedule=True)
+
+    def test_strict_mode_clean_on_permuted(self):
+        rng = np.random.default_rng(909)
+        drive_both(permuted_chain_dag(5, 5, seed=4), rng, strict=True)
+
+
 class TestLevelStructure:
     def test_fork_join_segments_match_phases(self):
         phases = [(1, 3), (4, 2), (1, 1), (8, 5)]

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.experiments.runner import SCALES, run_everything
+from repro.experiments.runner import SCALES, resume_status, run_everything
 
 
 class TestRunner:
@@ -46,6 +46,23 @@ class TestRunner:
         with pytest.raises(ValueError):
             run_everything(tmp_path, scale="galactic")
 
+    def test_resume_status_fresh_dir(self, tmp_path):
+        completed, total = resume_status(tmp_path, scale="smoke")
+        assert completed == 0
+        assert total >= 17
+
+    def test_resume_status_after_full_run(self, result):
+        _, out = result
+        completed, total = resume_status(out, scale="smoke")
+        assert completed == total >= 17
+
+    def test_resume_status_scale_mismatch(self, result):
+        """A journal written at one scale replays nothing at another (the
+        journal keys embed the scale and experiment parameters)."""
+        _, out = result
+        completed, _total = resume_status(out, scale="reduced")
+        assert completed == 0
+
     def test_scales_constant(self):
         assert SCALES == ("smoke", "reduced", "full")
 
@@ -58,3 +75,16 @@ class TestRunnerCli:
         out = capsys.readouterr().out
         assert "ran 17 experiments" in out
         assert (tmp_path / "REPORT.md").exists()
+
+    def test_cli_resume_reports_checkpoint_progress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["all", "--out", str(tmp_path), "--scale", "smoke"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["all", "--resume", "--out", str(tmp_path), "--scale", "smoke"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resuming: " in out
+        assert "(100%)" in out  # everything journaled -> full replay

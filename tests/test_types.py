@@ -12,6 +12,7 @@ from repro.core.types import (
     JobTrace,
     QuantumRecord,
     integer_request,
+    quantum_records_from_columns,
     transition_factor_of_series,
 )
 
@@ -135,6 +136,98 @@ class TestQuantumRecordDerived:
         rec = make_record(work=0, span=0.0, steps=0)
         assert rec.work_efficiency == 0.0
         assert rec.span_efficiency == 0.0
+
+
+# ---------------------------------------------------------------------------
+# quantum_records_from_columns
+# ---------------------------------------------------------------------------
+
+
+def _columns(n=4, **overrides):
+    """Aligned valid columns for n records (kwargs patch one column)."""
+    import numpy as np
+
+    cols = dict(
+        index=list(range(1, n + 1)),
+        request=np.full(n, 4.0),
+        request_int=np.full(n, 4, dtype=np.int64),
+        available=np.full(n, 128, dtype=np.int64),
+        allotment=np.full(n, 4, dtype=np.int64),
+        work=np.full(n, 4000, dtype=np.int64),
+        span=np.full(n, 100.0),
+        steps=np.full(n, 1000, dtype=np.int64),
+        quantum_length=1000,
+        start_step=0,
+    )
+    cols.update(overrides)
+    return cols
+
+
+class TestQuantumRecordsFromColumns:
+    def test_equals_scalar_constructor(self):
+        cols = _columns()
+        recs = quantum_records_from_columns(**cols)
+        scalar = [
+            QuantumRecord(
+                index=i + 1,
+                request=4.0,
+                request_int=4,
+                available=128,
+                allotment=4,
+                work=4000,
+                span=100.0,
+                steps=1000,
+                quantum_length=1000,
+                start_step=0,
+            )
+            for i in range(4)
+        ]
+        assert recs == scalar
+        assert all(s == r for s, r in zip(scalar, recs))  # both directions
+
+    def test_fields_are_plain_python_scalars(self):
+        rec = quantum_records_from_columns(**_columns())[0]
+        assert type(rec.work) is int and type(rec.span) is float
+        assert type(rec.allotment) is int
+
+    def test_derived_properties_work(self):
+        rec = quantum_records_from_columns(**_columns())[1]
+        assert rec.waste == 0
+        assert rec.is_full and rec.satisfied
+
+    def test_hash_and_pickle_roundtrip(self):
+        import pickle
+
+        rec = quantum_records_from_columns(**_columns())[0]
+        twin = make_record(request=4.0, available=128, allotment=4, steps=1000)
+        assert hash(rec) == hash(twin)
+        assert pickle.loads(pickle.dumps(rec)) == rec
+
+    def test_appendable_to_trace(self):
+        trace = JobTrace(quantum_length=1000)
+        for rec in quantum_records_from_columns(**_columns(3)):
+            trace.append(rec)
+        assert len(trace) == 3
+
+    def test_invalid_row_raises_scalar_error(self):
+        """A violating row falls back to the scalar constructor and raises
+        exactly its message, in row order."""
+        import numpy as np
+
+        work = np.full(4, 4000, dtype=np.int64)
+        work[2] = 99999  # work > allotment * steps on row 2
+        with pytest.raises(ValueError) as batch_err:
+            quantum_records_from_columns(**_columns(work=work))
+        with pytest.raises(ValueError) as scalar_err:
+            make_record(index=3, request=4.0, allotment=4, work=99999, steps=1000)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_bad_index_raises_scalar_error(self):
+        with pytest.raises(ValueError, match="quantum index starts at 1"):
+            quantum_records_from_columns(**_columns(index=[0, 1, 2, 3]))
+
+    def test_empty_columns(self):
+        assert quantum_records_from_columns(**_columns(0)) == []
 
 
 # ---------------------------------------------------------------------------
