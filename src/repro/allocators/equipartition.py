@@ -95,7 +95,7 @@ class DynamicEquiPartitioning(Allocator):
             )
         out = np.zeros(n, dtype=np.int64)
         remaining = total
-        active = np.arange(n)
+        active = np.arange(n, dtype=np.int64)
         while active.size:
             m = active.size
             share = remaining // m
@@ -108,7 +108,7 @@ class DynamicEquiPartitioning(Allocator):
                 continue
             extra = remaining - share * m
             offset = self._rotation % m
-            out[active] = share + (((np.arange(m) - offset) % m) < extra)
+            out[active] = share + (((np.arange(m, dtype=np.int64) - offset) % m) < extra)
             self._rotation += 1
             break
         return out

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from .base import Allocator
 
 __all__ = ["RoundRobinAllocator"]
@@ -48,3 +50,31 @@ class RoundRobinAllocator(Allocator):
             bonus = 1 if (i - offset) % n < extra else 0
             alloc[j] = min(requests[j], share + bonus)
         return alloc
+
+    def allocate_batch(
+        self, ids: np.ndarray, requests: np.ndarray, total: int
+    ) -> np.ndarray | None:
+        # Transcription of allocate() over the sorted id order the kernel
+        # already provides; the rotation counter advances exactly when the
+        # scalar path's would, so mixing entry points across quanta keeps
+        # the offsets — and therefore the allotments — bit-identical.
+        if total < 1:
+            raise ValueError("need at least one processor")
+        low = requests < 1
+        if low.any():
+            bad = np.flatnonzero(low)
+            raise ValueError(
+                f"job {int(ids[bad[0]])} must request at least one processor"
+            )
+        n = int(ids.size)
+        if n > total:
+            raise ValueError(
+                f"round-robin requires |J| <= P (got {n} jobs, {total} processors)"
+            )
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        share, extra = divmod(total, n)
+        offset = self._rotation % n
+        self._rotation += 1
+        bonus = ((np.arange(n, dtype=np.int64) - offset) % n) < extra
+        return np.minimum(requests, share + bonus)

@@ -3,8 +3,10 @@ reports, and the regression gate (``python -m repro bench``)."""
 
 from .harness import (
     BenchReport,
+    MemRegression,
     Regression,
     ScenarioTiming,
+    compare_memory,
     compare_reports,
     current_rev,
     load_report,
@@ -17,8 +19,10 @@ from .scenarios import BENCH_SCALES, SCENARIOS, Scenario, scenario_names
 
 __all__ = [
     "BenchReport",
+    "MemRegression",
     "Regression",
     "ScenarioTiming",
+    "compare_memory",
     "compare_reports",
     "current_rev",
     "load_report",

@@ -32,11 +32,13 @@ __all__ = [
     "ScenarioTiming",
     "BenchReport",
     "Regression",
+    "MemRegression",
     "run_bench",
     "write_report",
     "report_payload",
     "load_report",
     "compare_reports",
+    "compare_memory",
     "current_rev",
     "measure_calibration",
 ]
@@ -96,6 +98,15 @@ class Regression:
     current_normalized: float
     slowdown: float
     """``current / baseline`` normalized-time ratio (>1 means slower)."""
+
+
+@dataclass(frozen=True, slots=True)
+class MemRegression:
+    scenario: str
+    baseline_peak_bytes: int
+    current_peak_bytes: int
+    growth: float
+    """``current / baseline`` peak-heap ratio (>1 means more memory)."""
 
 
 def current_rev() -> str:
@@ -279,6 +290,47 @@ def compare_reports(
                     baseline_normalized=b.normalized,
                     current_normalized=t.normalized,
                     slowdown=slowdown,
+                )
+            )
+    return regressions
+
+
+def compare_memory(
+    current: BenchReport,
+    baseline: BenchReport,
+    *,
+    max_regression: float = 0.25,
+    min_bytes: int = 1_000_000,
+) -> list[MemRegression]:
+    """Return the scenarios whose peak heap grew beyond the gate.
+
+    Peak allocation (unlike wall time) is deterministic for a fixed
+    workload, so the gate needs no noise floor in the same sense — but
+    ``min_bytes`` still skips scenarios whose footprint is too small to
+    gate meaningfully, and baseline entries whose peak reads as 0
+    (schema-1 reports) are skipped as un-gateable rather than treated as
+    infinite regressions.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    if current.scale != baseline.scale:
+        raise ValueError(
+            f"cannot gate a {current.scale!r}-scale run against a "
+            f"{baseline.scale!r}-scale baseline"
+        )
+    regressions: list[MemRegression] = []
+    for t in current.timings:
+        b = baseline.timing(t.name)
+        if b is None or b.peak_bytes <= 0:
+            continue
+        growth = t.peak_bytes / b.peak_bytes
+        if growth > 1.0 + max_regression and t.peak_bytes >= min_bytes:
+            regressions.append(
+                MemRegression(
+                    scenario=t.name,
+                    baseline_peak_bytes=b.peak_bytes,
+                    current_peak_bytes=t.peak_bytes,
+                    growth=growth,
                 )
             )
     return regressions

@@ -26,7 +26,10 @@ through the invariant auditor (``repro.verify``) and exits non-zero on any
 violation of the paper's model invariants.  ``lint`` runs the file-local
 determinism rules (``ABG1xx``); with ``--deep`` it additionally runs the
 interprocedural purity/parallel-safety analysis (``ABG2xx``,
-``repro.verify.flow``) and emits one unified report.
+``repro.verify.flow``) plus the kernel-parity and numerical-determinism
+passes (``ABG3xx``, ``repro.verify.flow.kernel``) and emits one unified
+report.  ``lint --deep --strict-roots`` also fails on pool-dispatch
+payloads the analysis cannot resolve.
 """
 
 from __future__ import annotations
@@ -378,6 +381,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     import json
 
     from .bench import (
+        compare_memory,
         compare_reports,
         load_report,
         report_payload,
@@ -432,6 +436,9 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     regressions = compare_reports(
         report, baseline, max_regression=args.max_regression
     )
+    mem_regressions = compare_memory(
+        report, baseline, max_regression=args.max_mem_regression
+    )
     if regressions:
         lines.append(
             f"\nPERF REGRESSION vs {baseline.rev} "
@@ -442,11 +449,23 @@ def _cmd_bench(args: argparse.Namespace) -> str:
                 f"  {r.scenario}: normalized {r.baseline_normalized:.3f} -> "
                 f"{r.current_normalized:.3f} ({r.slowdown:.2f}x slower)"
             )
+    if mem_regressions:
+        lines.append(
+            f"\nMEMORY REGRESSION vs {baseline.rev} "
+            f"(gate: {100 * args.max_mem_regression:.0f}%):"
+        )
+        for m in mem_regressions:
+            lines.append(
+                f"  {m.scenario}: peak {m.baseline_peak_bytes / 1e6:.1f} MB -> "
+                f"{m.current_peak_bytes / 1e6:.1f} MB ({m.growth:.2f}x)"
+            )
+    if regressions or mem_regressions:
         print("\n".join(lines))
         raise SystemExit(1)
     lines.append(
         f"\nno regressions vs {baseline.rev} "
-        f"(gate: {100 * args.max_regression:.0f}%)"
+        f"(time gate: {100 * args.max_regression:.0f}%, "
+        f"memory gate: {100 * args.max_mem_regression:.0f}%)"
     )
     return "\n".join(lines)
 
@@ -498,7 +517,7 @@ def _cmd_lint(args: argparse.Namespace) -> str:
         from .verify.flow import SummaryCache, analyze_paths
 
         cache = None if args.no_cache else SummaryCache(args.cache)
-        deep = analyze_paths(paths, cache=cache)
+        deep = analyze_paths(paths, cache=cache, strict_roots=args.strict_roots)
         findings = sorted(
             [*findings, *deep.findings],
             key=lambda f: (f.path, f.line, f.col, f.code),
@@ -513,7 +532,8 @@ def _cmd_lint(args: argparse.Namespace) -> str:
             text += (
                 f"\ndeep: {stats['modules']} modules, "
                 f"{stats['functions']} functions, {stats['roots']} roots, "
-                f"{stats['reachable']} worker-reachable "
+                f"{stats['reachable']} worker-reachable, "
+                f"{stats['kernel_files']} kernel files "
                 f"(cache: {stats['cache_hits']} hit, "
                 f"{stats['cache_misses']} miss)"
             )
@@ -540,7 +560,8 @@ def _add_resilience_arguments(p: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SECONDS",
         help="per-unit wall-clock limit; a unit past its deadline is killed "
-        "with its pool and retried (default: none)",
+        "with its pool and retried (default: none for fig5/fig6; per-scale "
+        "for `all` — 120s smoke, 900s reduced, 3600s full)",
     )
 
 
@@ -695,6 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
         "this fraction vs the baseline",
     )
     p.add_argument(
+        "--max-mem-regression",
+        type=float,
+        default=0.25,
+        help="fail when a scenario's peak heap grows more than this "
+        "fraction vs the baseline",
+    )
+    p.add_argument(
         "--write-baseline",
         default=None,
         metavar="PATH",
@@ -719,7 +747,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="run the determinism lint (ABG1xx); --deep adds the "
-        "interprocedural purity/parallel-safety analysis (ABG2xx)",
+        "interprocedural purity/parallel-safety analysis (ABG2xx) and the "
+        "kernel-parity/numerical-determinism passes (ABG3xx)",
     )
     p.add_argument(
         "paths",
@@ -731,7 +760,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep",
         action="store_true",
         help="also build the call graph from the worker-dispatch roots and "
-        "check every reachable function (rules ABG201-ABG231)",
+        "check every reachable function (rules ABG201-ABG333), plus the "
+        "scalar<->batched kernel-parity and numerical-determinism passes",
+    )
+    p.add_argument(
+        "--strict-roots",
+        action="store_true",
+        help="with --deep: fail (ABG333) on pool-dispatch payloads the "
+        "analysis cannot resolve to a function, instead of trusting the "
+        "declared root patterns to cover them",
     )
     p.add_argument(
         "--format",

@@ -22,6 +22,8 @@ experiment quantifies all three regimes against A-Control.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.feedback import FeedbackPolicy
 from ..core.types import QuantumRecord
 
@@ -63,6 +65,31 @@ class FixedGainIntegral(FeedbackPolicy):
         error = 1.0 - prev.request / a_prev
         d = prev.request + self.gain * error
         return min(self.request_cap, max(1.0, d))
+
+    def next_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+    ) -> np.ndarray | None:
+        # Elementwise transcription of next_request: A(q) = T1/Tinf (0 for
+        # an empty quantum), hold on A <= 0, else the fixed-gain recurrence
+        # clamped to [1, request_cap].  The same IEEE-754 operations run in
+        # the same order as the scalar path, so results are bit-identical;
+        # held lanes divide by a dummy 1.0 and are discarded by the where.
+        a_prev = np.divide(
+            work, span, out=np.zeros_like(span, dtype=np.float64), where=span > 0
+        )
+        hold = a_prev <= 0.0
+        safe = np.where(hold, 1.0, a_prev)
+        d = request + self.gain * (1.0 - request / safe)
+        return np.where(
+            hold, request, np.minimum(self.request_cap, np.maximum(1.0, d))
+        )
 
     def closed_loop_pole(self, parallelism: float) -> float:
         """Pole of the loop this controller closes around parallelism ``A``."""

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from .feedback import FeedbackPolicy
 from .types import QuantumRecord
 
@@ -32,6 +34,19 @@ class FixedRequest(FeedbackPolicy):
     def next_request(self, prev: QuantumRecord) -> float:
         return float(self.processors)
 
+    def next_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+    ) -> np.ndarray | None:
+        # The constant request vectorizes trivially — and exactly.
+        return np.full(request.shape, float(self.processors), dtype=np.float64)
+
 
 class OracleFeedback(FeedbackPolicy):
     """Clairvoyant feedback: requests the job's *true* instantaneous
@@ -42,6 +57,10 @@ class OracleFeedback(FeedbackPolicy):
     non-clairvoyant scheduler like ABG must estimate from history.  It upper-
     bounds what any parallelism-feedback policy can achieve.
     """
+
+    #: Scalar-only by design (ABG301 contract marker): each request calls
+    #: back into the live executor, so there is no array form to vectorize.
+    batch_fallback = True
 
     def __init__(self, parallelism_source: Callable[[], float]):
         self._source = parallelism_source

@@ -55,9 +55,28 @@ __all__ = [
     "resume_status",
     "run_everything",
     "SCALES",
+    "DEFAULT_TASK_TIMEOUTS",
+    "default_task_timeout",
 ]
 
 SCALES = ("smoke", "reduced", "full")
+
+#: Per-scale default ``--task-timeout`` (seconds), applied when the caller
+#: passes none: a hung unit is reaped and retried without operator tuning.
+#: Generous multiples of the observed per-unit wall times (a full-scale
+#: fig6 unit runs minutes, not an hour), so only a genuine hang trips them.
+DEFAULT_TASK_TIMEOUTS: dict[str, float] = {
+    "smoke": 120.0,
+    "reduced": 900.0,
+    "full": 3600.0,
+}
+
+
+def default_task_timeout(scale: str) -> float | None:
+    """The per-unit wall-clock limit ``run_everything`` applies at ``scale``
+    when no explicit ``task_timeout`` is given (``None`` for unknown
+    scales — scale validation happens in the experiment table)."""
+    return DEFAULT_TASK_TIMEOUTS.get(scale)
 
 #: Journal directory name inside the output directory.
 JOURNAL_DIRNAME = ".journal"
@@ -296,11 +315,16 @@ def run_everything(
     Every completed experiment is checkpointed under ``<out>/.journal``;
     ``resume=True`` replays those records instead of re-running (a fresh run
     clears them first).  ``retries``/``task_timeout`` bound per-experiment
-    failures and wall-clock time; ``faults`` injects a deterministic fault
-    schedule (chaos testing only).  Ctrl-C or SIGTERM shuts the pool down
-    cleanly and raises :class:`RunInterrupted` — the journal survives, so
-    the next ``--resume`` run picks up where this one stopped.
+    failures and wall-clock time; ``task_timeout=None`` applies the
+    per-scale default from :data:`DEFAULT_TASK_TIMEOUTS`, so a hung
+    full-scale unit is reaped without operator tuning.  ``faults`` injects
+    a deterministic fault schedule (chaos testing only).  Ctrl-C or
+    SIGTERM shuts the pool down cleanly and raises :class:`RunInterrupted`
+    — the journal survives, so the next ``--resume`` run picks up where
+    this one stopped.
     """
+    if task_timeout is None:
+        task_timeout = default_task_timeout(scale)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     journal = CheckpointJournal(out / JOURNAL_DIRNAME)

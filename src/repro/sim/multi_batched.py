@@ -213,11 +213,11 @@ class MultiBatchKernel:
         self._done = _EMPTY_I64.copy()
         self._rem = _EMPTY_I64.copy()
         self._prev_allot = _EMPTY_I64.copy()
-        self._seg_w = _EMPTY_I64
-        self._seg_total = _EMPTY_I64
-        self._seg_off = _EMPTY_I64
-        self._sorted_jids = _EMPTY_I64
-        self._id_order = _EMPTY_I64
+        self._seg_w = _EMPTY_I64.copy()
+        self._seg_total = _EMPTY_I64.copy()
+        self._seg_off = _EMPTY_I64.copy()
+        self._sorted_jids = _EMPTY_I64.copy()
+        self._id_order = _EMPTY_I64.copy()
         self._dirty = False
         self._strict = bool(strict)
         self._policy_counts: dict[int, int] = {}
@@ -303,14 +303,14 @@ class MultiBatchKernel:
                 np.int64
             )
             jids = np.asarray(self.jids, dtype=np.int64)
-            self._id_order = np.argsort(jids)  # jids are unique
+            self._id_order = np.argsort(jids, kind="stable")  # jids are unique
             self._sorted_jids = jids[self._id_order]
         else:
-            self._seg_w = _EMPTY_I64
-            self._seg_total = _EMPTY_I64
-            self._seg_off = _EMPTY_I64
-            self._sorted_jids = _EMPTY_I64
-            self._id_order = _EMPTY_I64
+            self._seg_w = _EMPTY_I64.copy()
+            self._seg_total = _EMPTY_I64.copy()
+            self._seg_off = _EMPTY_I64.copy()
+            self._sorted_jids = _EMPTY_I64.copy()
+            self._id_order = _EMPTY_I64.copy()
         self._dirty = False
 
     def allocation_order(self) -> tuple[np.ndarray, np.ndarray]:

@@ -1,8 +1,10 @@
 """Shared finding model for the ABG static-analysis passes.
 
-Both analysis layers — the file-local lint (:mod:`repro.verify.lint`,
-rules ``ABG1xx``) and the interprocedural flow analysis
-(:mod:`repro.verify.flow`, rules ``ABG2xx``) — report the same
+All analysis layers — the file-local lint (:mod:`repro.verify.lint`,
+rules ``ABG1xx``), the interprocedural flow analysis
+(:mod:`repro.verify.flow`, rules ``ABG2xx``), and the kernel-parity /
+numerical-determinism passes (:mod:`repro.verify.flow.kernel`, rules
+``ABG3xx``) — report the same
 :class:`LintFinding` record, draw severities from the same registry, and
 honor the same suppression comments, so ``python -m repro lint`` can emit
 one unified report with a single exit-code policy.
@@ -60,6 +62,17 @@ RULES: dict[str, tuple[str, str]] = {
     "ABG221": ("error", "hash-order set iteration on a parallel path without sorted()"),
     "ABG231": ("error", "unpicklable or handle-bearing payload shipped to a process pool"),
     "ABG290": ("error", "`# abg: allow[...]` suppression without a reason= justification"),
+    "ABG301": ("error", "scalar kernel method without a batched counterpart or fallback marker"),
+    "ABG302": ("error", "scalar override inherits an ancestor's batched counterpart (silent drift)"),
+    "ABG303": ("error", "signature drift between a kernel-pair method and its base declaration"),
+    "ABG311": ("error", "indirect sort (argsort) without kind=\"stable\" in a kernel module"),
+    "ABG312": ("error", "order-sensitive float reduction over a hash-ordered collection"),
+    "ABG313": ("error", "array constructor without an explicit dtype in a kernel module"),
+    "ABG314": ("error", "in-place aliasing of a shared arena buffer"),
+    "ABG315": ("error", "columnar array built directly from a dict view"),
+    "ABG331": ("error", "attribute-level mutation of shared instance state on a worker path"),
+    "ABG332": ("error", "parameter mutated before a possible raise on a worker path (retry replay hazard)"),
+    "ABG333": ("error", "pool-dispatch callee unresolvable in strict-roots mode"),
 }
 
 

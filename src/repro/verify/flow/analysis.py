@@ -20,6 +20,24 @@ rules apply:
 - ``ABG231`` — unpicklable or handle-bearing payloads at the dispatch
   sites themselves (reported wherever they occur).
 
+Flow-analyzer v2 adds attribute-level and exception-path rules on the
+same reachable set:
+
+- ``ABG331`` — attribute-level mutation of shared module state reached
+  through a chain (``CONFIG.limits.max = 1``, ``TABLE[k].bump()``) —
+  what ABG201's direct-base check cannot see;
+- ``ABG332`` — a parameter mutated before a later explicit ``raise`` in
+  the same worker-reachable function: the supervised pool *retries*
+  failed units, so the replay sees the half-mutated argument;
+- ``ABG333`` (``strict_roots=True`` only) — a pool-dispatch site whose
+  payload cannot be resolved to an analyzed function (computed callables
+  and names that leave the tree); forwarding a function-typed *parameter*
+  is exempt, since the concrete callee is resolved at the outer call.
+
+The kernel passes (``ABG3xx`` parity + numeric rules,
+:mod:`repro.verify.flow.kernel`) also run here: parity over the cached
+module index, numeric over a fresh parse of each kernel file.
+
 Roots come from two sources: **discovered** dispatch sites (any function
 handed by name to ``map_deterministic`` / ``run_supervised`` /
 ``pool.submit`` / ``pool.map``) and the **declared** patterns in
@@ -34,6 +52,7 @@ Suppression uses the shared ``# abg: allow[CODE] reason=...`` syntax from
 
 from __future__ import annotations
 
+import ast
 from collections import deque
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
@@ -43,6 +62,14 @@ from typing import Iterable, Mapping, Sequence
 from ..findings import LintFinding, is_suppressed, rule_severity
 from .cache import SummaryCache, source_digest
 from .callgraph import ModuleIndex, build_call_graph
+from .kernel import (
+    DEFAULT_KERNEL_PATTERNS,
+    PARITY_CONTRACTS,
+    ParityContract,
+    is_kernel_path,
+    numeric_findings,
+    parity_findings,
+)
 from .model import FunctionSummary, ModuleInfo
 from .summarize import summarize_module
 
@@ -176,6 +203,28 @@ def _function_findings(
             "path; wrap in sorted(...) before the elements can reach a "
             "recorded schedule or artifact",
         )
+    for write in summary.attr_writes:
+        if write.root_kind == "global":
+            emit(
+                write.line,
+                "ABG331",
+                f"worker-dispatched path mutates shared instance state "
+                f"{write.root}.{write.attr}: attribute-level writes through "
+                "module-level objects diverge per worker process just like "
+                "direct global writes — pass state through the task instead",
+            )
+        elif write.root_kind == "param" and any(
+            r > write.line for r in summary.raises
+        ):
+            emit(
+                write.line,
+                "ABG332",
+                f"parameter {write.root!r} mutated ({write.attr}) before a "
+                "possible raise later in this worker function: the "
+                "supervised pool retries failed units, so the replay sees "
+                "the half-mutated argument — mutate only after the last "
+                "raise, or work on a copy",
+            )
     return out
 
 
@@ -208,6 +257,9 @@ def analyze_paths(
     extra_roots: Sequence[str] = (),
     cache: SummaryCache | None = None,
     overrides: Mapping[str, str] | None = None,
+    strict_roots: bool = False,
+    kernel_patterns: Sequence[str] = DEFAULT_KERNEL_PATTERNS,
+    parity_contracts: Sequence[ParityContract] = PARITY_CONTRACTS,
 ) -> FlowReport:
     """Run the interprocedural analysis over files and directories.
 
@@ -216,7 +268,12 @@ def analyze_paths(
     function ids.  ``cache`` (a :class:`SummaryCache`) reuses summaries of
     unchanged files; ``overrides`` maps absolute path strings to
     replacement source text — the hook the mutation tests use to inject a
-    violation without touching the tree.
+    violation without touching the tree.  ``strict_roots`` turns
+    unresolvable pool-dispatch payloads into ``ABG333`` findings instead
+    of silently trusting the declared root patterns to cover them.
+    ``kernel_patterns``/``parity_contracts`` configure the ABG3xx passes
+    (the numeric pass re-parses matching files fresh; the summary cache
+    is never consulted for it).
     """
     report = FlowReport()
     modules: dict[str, ModuleInfo] = {}
@@ -261,9 +318,42 @@ def analyze_paths(
     for module, info in index.modules.items():
         for qualname, summary in info.functions.items():
             for dispatch in summary.dispatches:
-                for resolved in index.resolve_call(info, dispatch.callee, qualname):
+                resolved_ids = (
+                    index.resolve_call(info, dispatch.callee, qualname)
+                    if dispatch.callee
+                    else ()
+                )
+                for resolved in resolved_ids:
                     if resolved not in roots:
                         roots.append(resolved)
+                if strict_roots and not resolved_ids:
+                    # a function-typed *parameter* forwarded to the pool is
+                    # resolved at the outer call site — not a strict-roots
+                    # violation (map_deterministic forwarding its fn)
+                    if dispatch.callee and dispatch.callee in summary.params:
+                        continue
+                    lines = sources.get(info.path, [])
+                    if is_suppressed(lines, dispatch.line, "ABG333"):
+                        continue
+                    detail = (
+                        f"payload {dispatch.callee!r} does not resolve to an "
+                        "analyzed function"
+                        if dispatch.callee
+                        else "payload is a computed callable"
+                    )
+                    report.findings.append(
+                        LintFinding(
+                            path=info.path,
+                            line=dispatch.line,
+                            col=0,
+                            code="ABG333",
+                            message=f"pool-dispatch callee unresolvable in "
+                            f"strict-roots mode: {detail}; the analysis "
+                            "cannot prove the worker-side effects — dispatch "
+                            "a module-level function by name",
+                            severity=rule_severity("ABG333"),
+                        )
+                    )
     for func_id in functions:
         if any(_matches(func_id, p) for p in root_patterns) and func_id not in roots:
             roots.append(func_id)
@@ -312,12 +402,26 @@ def analyze_paths(
                 _function_findings(summary, info, lines, trace_of(func_id))
             )
 
+    # -- kernel passes (ABG3xx) ----------------------------------------------
+    report.findings.extend(parity_findings(index, sources, parity_contracts))
+    kernel_files = 0
+    for path_str, lines in sources.items():
+        if not is_kernel_path(path_str, kernel_patterns):
+            continue
+        kernel_files += 1
+        try:
+            tree = ast.parse("\n".join(lines), filename=path_str)
+        except SyntaxError:
+            continue  # already reported as ABG100 above
+        report.findings.extend(numeric_findings(path_str, lines, tree))
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     report.stats = {
         "modules": len(modules),
         "functions": len(functions),
         "roots": len(roots),
         "reachable": len(parent),
+        "kernel_files": kernel_files,
         "cache_hits": cache.hits if cache is not None else 0,
         "cache_misses": cache.misses if cache is not None else 0,
     }

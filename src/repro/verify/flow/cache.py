@@ -9,6 +9,13 @@ fast enough for CI and pre-commit.
 The cache lives in ``.abg_cache/flow-summaries.json`` by default
 (git-ignored); a missing, corrupt, or schema-mismatched file is treated as
 empty, never an error.
+
+Invalidation is two-keyed: the payload ``schema`` (bumped whenever the
+summary *shape* changes) **and** the :func:`analyzer_version` fingerprint,
+derived from the sorted rule registry — so merely *adding* a rule, which
+changes no summary shape, still discards every cached summary.  Without
+the second key an upgraded linter could serve pre-upgrade summaries that
+never recorded the facts the new rules need, silently masking findings.
 """
 
 from __future__ import annotations
@@ -19,14 +26,30 @@ from pathlib import Path
 from typing import Any
 
 from ...runtime import write_atomic
+from ..findings import RULES
 from .model import ModuleInfo, module_from_payload, module_payload
 
-__all__ = ["SummaryCache", "DEFAULT_CACHE_PATH", "source_digest"]
+__all__ = [
+    "SummaryCache",
+    "DEFAULT_CACHE_PATH",
+    "source_digest",
+    "analyzer_version",
+]
 
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_PATH = Path(".abg_cache") / "flow-summaries.json"
 
-_SCHEMA = 3  # 3: batched multi-job kernel added to the declared root set
+_SCHEMA = 4  # 4: flow v2 summaries (attr_writes/raises/defaults, ABG3xx)
+
+
+def analyzer_version() -> str:
+    """Fingerprint of the active rule set (codes + severities + summaries).
+
+    Any rule addition, removal, or redefinition changes this string, which
+    invalidates every cached summary — the rule-set key of the cache.
+    """
+    canon = json.dumps(sorted(RULES.items()), separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
 def source_digest(source: str) -> str:
@@ -51,6 +74,8 @@ class SummaryCache:
             return
         if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
             return
+        if data.get("analyzer") != analyzer_version():
+            return  # rule set changed since this cache was written
         entries = data.get("entries")
         if isinstance(entries, dict):
             self._entries = entries
@@ -77,5 +102,9 @@ class SummaryCache:
 
     def save(self) -> None:
         """Persist the cache (creates the parent directory)."""
-        payload = {"schema": _SCHEMA, "entries": self._entries}
+        payload = {
+            "schema": _SCHEMA,
+            "analyzer": analyzer_version(),
+            "entries": self._entries,
+        }
         write_atomic(self.path, json.dumps(payload))

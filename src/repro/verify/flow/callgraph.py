@@ -88,6 +88,40 @@ class ModuleIndex:
             return None
         return None
 
+    def subclasses_of(self, cls_id: str) -> tuple[str, ...]:
+        """All transitive subclass ids of ``cls_id`` found in the tree."""
+        return tuple(sorted(self._subclasses.get(cls_id, ())))
+
+    def base_classes_of(self, cls_id: str) -> tuple[str, ...]:
+        """Direct base-class ids of ``cls_id`` (resolved; out-of-tree bases
+        are dropped)."""
+        module, _, cls = cls_id.partition("::")
+        info = self.modules.get(module)
+        if info is None:
+            return ()
+        out: list[str] = []
+        for base in info.classes.get(cls, ()):
+            ref = self._class_ref(info, base)
+            if ref is not None and ref not in out:
+                out.append(ref)
+        return tuple(out)
+
+    def method_summary(self, cls_id: str, method: str) -> FunctionSummary | None:
+        """The summary of ``method`` defined *directly on* ``cls_id``."""
+        module, _, cls = cls_id.partition("::")
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.functions.get(f"{cls}.{method}")
+
+    def class_attr_names(self, cls_id: str) -> tuple[str, ...]:
+        """Names assigned at class level directly on ``cls_id``."""
+        module, _, cls = cls_id.partition("::")
+        info = self.modules.get(module)
+        if info is None:
+            return ()
+        return info.class_attrs.get(cls, ())
+
     def _class_ref(self, info: ModuleInfo, ref: str) -> str | None:
         """A class reference as written in ``info``'s module: a bare name
         defined there, or a dotted/imported name resolved globally."""

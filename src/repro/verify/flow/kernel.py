@@ -1,0 +1,490 @@
+"""Kernel-parity and numerical-determinism passes (the ABG3xx family).
+
+PR 5 split the hot path into dual implementations — scalar reference
+methods (``Allocator.allocate``, ``FeedbackPolicy.next_request``) and
+batched numpy counterparts (``allocate_batch``, ``next_request_batch``)
+— whose bit-identity the runtime cross-validation tests prove only for
+the inputs they happen to exercise.  These passes enforce the contract
+*statically*:
+
+**API-parity pass** (`parity_findings`, over the class hierarchy)
+
+- ``ABG301`` — a policy class overrides the scalar method but defines no
+  batched counterpart and carries no explicit ``batch_fallback`` marker:
+  the batched engine silently falls back to the base's ``None`` path for
+  this one policy, so scalar and batched runs exercise different code
+  with nothing recording that this is intentional.
+- ``ABG302`` — a class overrides the scalar method while *inheriting* an
+  ancestor's batched counterpart: the batched path computes the
+  ancestor's semantics, the scalar path the subclass's — the worst kind
+  of drift because both paths exist and disagree.
+- ``ABG303`` — parameter-list or default-value drift between a method
+  override and the base declaration: keyword calls and fallback
+  invocation break asymmetrically between the scalar and batched sides.
+
+**Numerical-determinism pass** (`numeric_findings`, fresh AST per kernel
+file — never served from the summary cache, so a stale cache can never
+mask a finding)
+
+- ``ABG311`` — ``argsort`` without ``kind="stable"``.  An *indirect*
+  sort's permutation is observable wherever keys tie (equal deadlines,
+  equal allotments), and the default introsort breaks ties by memory
+  layout.  Plain value sorts are deterministic under any algorithm and
+  are deliberately not flagged.
+- ``ABG312`` — a float reduction (``sum``/``fsum``/``np.sum``/``np.dot``
+  /``mean``/``std``) fed from a dict view: float addition is not
+  associative, so hash-iteration order changes the result in the last
+  ulps — exactly the drift the convergence tests chase.  Wrapping the
+  view in ``sorted(...)`` canonicalizes the order and silences the rule.
+- ``ABG313`` — ``np.arange``/``array``/``asarray``/``fromiter``/``full``
+  without an explicit ``dtype=``: integer results default to the
+  platform C long, so index arithmetic widens differently across
+  platforms.  (``zeros``/``empty``/``ones`` default to float64
+  everywhere and are not flagged.)
+- ``ABG314`` — shared-arena aliasing: a ufunc ``out=`` that aliases one
+  of its inputs, or a module-level array sentinel stored onto an
+  instance without ``.copy()`` (every instance would then share — and
+  potentially mutate — one buffer).
+- ``ABG315`` — a columnar array built directly from a dict view
+  (``np.array(list(d.values()))``): record order follows insertion
+  order, which nothing canonicalized.
+
+Both passes report through the shared :class:`LintFinding` model and
+honor ``# abg: allow[CODE] reason=...`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Mapping, Sequence
+
+from ..findings import LintFinding, is_suppressed, rule_severity
+from .callgraph import ModuleIndex
+from .model import function_id
+
+__all__ = [
+    "ParityContract",
+    "PARITY_CONTRACTS",
+    "DEFAULT_KERNEL_PATTERNS",
+    "is_kernel_path",
+    "parity_findings",
+    "numeric_findings",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ParityContract:
+    """One scalar/batched method pair rooted at a base class.
+
+    ``marker`` names the class attribute that *explicitly* opts a
+    subclass out of the batched side (``batch_fallback = True``) — the
+    annotation ABG301 demands instead of a silent missing override.
+    """
+
+    module: str
+    cls: str
+    scalar: str
+    batch: str
+    marker: str = "batch_fallback"
+
+    @property
+    def base_id(self) -> str:
+        return function_id(self.module, self.cls)
+
+
+#: The repo's two scalar↔batched kernel contracts.
+PARITY_CONTRACTS: tuple[ParityContract, ...] = (
+    ParityContract(
+        module="repro.allocators.base",
+        cls="Allocator",
+        scalar="allocate",
+        batch="allocate_batch",
+    ),
+    ParityContract(
+        module="repro.core.feedback",
+        cls="FeedbackPolicy",
+        scalar="next_request",
+        batch="next_request_batch",
+    ),
+)
+
+#: Path globs of the array-kernel modules the numeric pass covers.
+DEFAULT_KERNEL_PATTERNS: tuple[str, ...] = (
+    "*/sim/multi_batched.py",
+    "*/engine/batched.py",
+    "*/allocators/*.py",
+    "*/dag/structure.py",
+    "*/core/types.py",
+)
+
+
+def is_kernel_path(path: str, patterns: Sequence[str] = DEFAULT_KERNEL_PATTERNS) -> bool:
+    """Whether ``path`` names an array-kernel module."""
+    normalized = path.replace("\\", "/")
+    return any(fnmatchcase(normalized, pat) for pat in patterns)
+
+
+# -- API-parity pass ---------------------------------------------------------
+
+
+def _ancestry(index: ModuleIndex, cls_id: str, stop: str) -> tuple[str, ...]:
+    """Ancestor ids of ``cls_id`` in method-resolution order (BFS over the
+    resolved base lists), up to but *excluding* ``stop`` (the contract's
+    base, whose batched method is the fallback, not an implementation)."""
+    out: list[str] = []
+    queue = list(index.base_classes_of(cls_id))
+    seen = {cls_id}
+    while queue:
+        current = queue.pop(0)
+        if current in seen or current == stop:
+            seen.add(current)
+            continue
+        seen.add(current)
+        out.append(current)
+        queue.extend(index.base_classes_of(current))
+    return tuple(out)
+
+
+def _has_marker(index: ModuleIndex, cls_id: str, contract: ParityContract) -> bool:
+    """Marker on the class or any ancestor below the contract base."""
+    for candidate in (cls_id, *_ancestry(index, cls_id, contract.base_id)):
+        if contract.marker in index.class_attr_names(candidate):
+            return True
+    return False
+
+
+def parity_findings(
+    index: ModuleIndex,
+    sources: Mapping[str, Sequence[str]],
+    contracts: Sequence[ParityContract] = PARITY_CONTRACTS,
+) -> list[LintFinding]:
+    """ABG301/302/303 over every subclass of each contract's base."""
+    out: list[LintFinding] = []
+
+    def emit(cls_id: str, line: int, code: str, message: str) -> None:
+        module = cls_id.partition("::")[0]
+        info = index.modules[module]
+        if is_suppressed(sources.get(info.path, []), line, code):
+            return
+        out.append(
+            LintFinding(
+                path=info.path,
+                line=line,
+                col=0,
+                code=code,
+                message=message,
+                severity=rule_severity(code),
+            )
+        )
+
+    for contract in contracts:
+        base_scalar = index.method_summary(contract.base_id, contract.scalar)
+        if base_scalar is None:
+            continue  # contract base not in the analyzed tree
+        base_batch = index.method_summary(contract.base_id, contract.batch)
+        base_decl = {contract.scalar: base_scalar, contract.batch: base_batch}
+        for cls_id in index.subclasses_of(contract.base_id):
+            cls_name = cls_id.partition("::")[2]
+            scalar = index.method_summary(cls_id, contract.scalar)
+            batch = index.method_summary(cls_id, contract.batch)
+
+            # signature/default drift of whichever side the class defines
+            for method_name, override in (
+                (contract.scalar, scalar),
+                (contract.batch, batch),
+            ):
+                declared = base_decl[method_name]
+                if override is None or declared is None:
+                    continue
+                if override.params != declared.params:
+                    emit(
+                        cls_id,
+                        override.line,
+                        "ABG303",
+                        f"{cls_name}.{method_name} parameters "
+                        f"{list(override.params)} drift from the "
+                        f"{contract.cls} declaration {list(declared.params)}; "
+                        "keyword calls and the scalar<->batched fallback "
+                        "break asymmetrically",
+                    )
+                elif override.defaults != declared.defaults:
+                    emit(
+                        cls_id,
+                        override.line,
+                        "ABG303",
+                        f"{cls_name}.{method_name} default values drift from "
+                        f"the {contract.cls} declaration; the two kernel "
+                        "sides disagree when the argument is omitted",
+                    )
+
+            if scalar is None or batch is not None:
+                continue  # no scalar override, or the pair is complete
+            if _has_marker(index, cls_id, contract):
+                continue  # explicit opt-out: scalar-only by design
+            inherited_from = next(
+                (
+                    ancestor
+                    for ancestor in _ancestry(index, cls_id, contract.base_id)
+                    if index.method_summary(ancestor, contract.batch) is not None
+                ),
+                None,
+            )
+            if inherited_from is not None:
+                emit(
+                    cls_id,
+                    scalar.line,
+                    "ABG302",
+                    f"{cls_name}.{contract.scalar} overrides the scalar "
+                    f"kernel but inherits {contract.batch} from "
+                    f"{inherited_from.partition('::')[2]}: the batched path "
+                    "computes the ancestor's semantics — override "
+                    f"{contract.batch} too, or mark the class "
+                    f"{contract.marker} = True",
+                )
+            else:
+                emit(
+                    cls_id,
+                    scalar.line,
+                    "ABG301",
+                    f"{cls_name} defines {contract.scalar} without a "
+                    f"{contract.batch} counterpart; the batched engine "
+                    "silently falls back to the scalar loop for this policy "
+                    f"— add {contract.batch} or declare "
+                    f"{contract.marker} = True",
+                )
+    return out
+
+
+# -- numerical-determinism pass ----------------------------------------------
+
+#: numpy constructors whose integer results default to the platform C long.
+_DTYPE_REQUIRED = frozenset({"arange", "array", "asarray", "fromiter", "full"})
+
+#: reduction callables whose result depends on float summation order.
+_FLOAT_REDUCTIONS = frozenset({"sum", "fsum", "dot", "mean", "std", "nansum"})
+
+#: constructors that materialize a columnar array from an iterable.
+_ARRAY_BUILDERS = frozenset({"array", "asarray", "fromiter"})
+
+_DICT_VIEWS = frozenset({"values", "keys", "items"})
+
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the numpy module by this file's imports."""
+    aliases: set[str] = set()
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    """Last segment of the callee (``np.argsort`` -> ``argsort``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_numpy_call(node: ast.Call, np_names: set[str]) -> bool:
+    """Whether the callee is rooted at a numpy alias (``np.x``, ``np.x.y``)."""
+    func = node.func
+    while isinstance(func, ast.Attribute):
+        func = func.value
+    return isinstance(func, ast.Name) and func.id in np_names
+
+
+def _keyword(node: ast.Call, name: str) -> ast.keyword | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def _contains_dict_view(node: ast.expr) -> bool:
+    """Whether a dict ``.values()``/``.items()``/``.keys()`` call appears in
+    the expression without a canonicalizing ``sorted(...)`` above it."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    ):
+        return False
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _DICT_VIEWS and not node.args and not node.keywords:
+            return True
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr) and _contains_dict_view(child):
+            return True
+        if isinstance(child, ast.comprehension) and _contains_dict_view(child.iter):
+            return True
+    return False
+
+
+class _KernelScanner(ast.NodeVisitor):
+    """One pass over a kernel module collecting ABG311–ABG315 sites."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.np_names = _numpy_aliases(tree)
+        self.sites: list[tuple[int, str, str]] = []
+        #: module-level names bound to numpy-constructed arrays (shared
+        #: sentinels such as ``_EMPTY_I64``) — storing one onto an instance
+        #: without ``.copy()`` aliases every instance to one buffer
+        self.array_globals: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                if _is_numpy_call(stmt.value, self.np_names):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.array_globals.add(target.id)
+
+    # -- ABG311 / ABG312 / ABG313 / ABG315 at call sites ----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        tail = _call_tail(node)
+        numpy_call = _is_numpy_call(node, self.np_names)
+        method_call = isinstance(node.func, ast.Attribute) and not numpy_call
+
+        if tail == "argsort" and (numpy_call or method_call):
+            kind = _keyword(node, "kind")
+            stable = (
+                kind is not None
+                and isinstance(kind.value, ast.Constant)
+                and kind.value.value in _STABLE_KINDS
+            )
+            if not stable:
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG311",
+                        'argsort without kind="stable": tie order follows '
+                        "memory layout under the default introsort, so equal "
+                        "keys permute nondeterministically — pass "
+                        'kind="stable"',
+                    )
+                )
+
+        if tail in _FLOAT_REDUCTIONS and (
+            numpy_call or isinstance(node.func, ast.Name)
+        ):
+            if any(_contains_dict_view(arg) for arg in node.args):
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG312",
+                        f"float reduction {tail}() over a dict view: float "
+                        "addition is order-sensitive and dict order is "
+                        "insertion order — reduce over sorted(...) or a "
+                        "canonical array instead",
+                    )
+                )
+
+        if numpy_call and tail in _DTYPE_REQUIRED:
+            if _keyword(node, "dtype") is None and not (
+                tail == "asarray" and self._array_typed_arg(node)
+            ):
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG313",
+                        f"np.{tail} without an explicit dtype=: integer "
+                        "results default to the platform C long, so index "
+                        "arithmetic widens differently across platforms — "
+                        "pin the dtype",
+                    )
+                )
+
+        if numpy_call and tail in _ARRAY_BUILDERS:
+            if any(_contains_dict_view(arg) for arg in node.args):
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG315",
+                        f"np.{tail} built directly from a dict view: column "
+                        "order follows dict insertion order, which nothing "
+                        "canonicalized — build from an explicitly ordered "
+                        "sequence",
+                    )
+                )
+
+        out_kw = _keyword(node, "out")
+        if numpy_call and out_kw is not None:
+            out_dump = ast.dump(out_kw.value)
+            if any(ast.dump(arg) == out_dump for arg in node.args):
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG314",
+                        "ufunc out= aliases one of its inputs: partial "
+                        "results overwrite operands still being read when "
+                        "the buffer is shared — write into a distinct array",
+                    )
+                )
+
+        self.generic_visit(node)
+
+    def _array_typed_arg(self, node: ast.Call) -> bool:
+        """``np.asarray(x)`` where ``x`` is itself a numpy call already
+        carrying a dtype — no widening ambiguity to pin."""
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Call):
+            return False
+        inner = node.args[0]
+        return (
+            _is_numpy_call(inner, self.np_names)
+            and _keyword(inner, "dtype") is not None
+        )
+
+    # -- ABG314: shared module sentinels stored without .copy() ---------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id in self.array_globals:
+            if any(isinstance(t, ast.Attribute) for t in node.targets):
+                self.sites.append(
+                    (
+                        node.lineno,
+                        "ABG314",
+                        f"module-level array {node.value.id!r} stored onto an "
+                        "instance without .copy(): every instance aliases one "
+                        "shared buffer, so any in-place write corrupts them "
+                        "all — store a .copy()",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def numeric_findings(
+    path: str, source_lines: Sequence[str], tree: ast.Module
+) -> list[LintFinding]:
+    """ABG311–ABG315 findings for one kernel module.
+
+    Callers pass a *freshly parsed* ``tree`` — the numeric pass never
+    reads the summary cache, so stale cached summaries cannot mask a
+    kernel finding.
+    """
+    scanner = _KernelScanner(path, tree)
+    scanner.visit(tree)
+    out: list[LintFinding] = []
+    for line, code, message in scanner.sites:
+        if is_suppressed(source_lines, line, code):
+            continue
+        out.append(
+            LintFinding(
+                path=path,
+                line=line,
+                col=0,
+                code=code,
+                message=message,
+                severity=rule_severity(code),
+            )
+        )
+    out.sort(key=lambda f: (f.line, f.code))
+    return out

@@ -26,6 +26,7 @@ __all__ = [
     "PayloadRisk",
     "MutableDefault",
     "DispatchSite",
+    "AttrWrite",
     "FunctionSummary",
     "ModuleInfo",
     "function_id",
@@ -118,6 +119,23 @@ class DispatchSite:
     line: int
 
 
+@dataclass(frozen=True, slots=True)
+class AttrWrite:
+    """An attribute-level (or item-level) mutation reached through a name.
+
+    ``root`` is the chain's base name (``cfg`` for ``cfg.limits.max = 1``),
+    ``attr`` the dotted path written below it (``"limits.max"``, or ``"[]"``
+    for an item store, or ``"<method>"`` for a mutating method call), and
+    ``root_kind`` whether the root is module-level shared state
+    (``"global"``) or a function parameter (``"param"``).
+    """
+
+    root: str
+    attr: str
+    line: int
+    root_kind: str
+
+
 @dataclass(slots=True)
 class FunctionSummary:
     """The effect summary of one function or method."""
@@ -125,6 +143,9 @@ class FunctionSummary:
     qualname: str
     line: int
     params: tuple[str, ...] = ()
+    #: default-value expressions aligned to ``params`` (``""`` = no default),
+    #: kept as source text so the parity pass can flag default drift
+    defaults: tuple[str, ...] = ()
     #: decorated ``@property`` / ``@cached_property`` — invoked by attribute
     #: access, so reachability pulls it in with the rest of its class
     is_property: bool = False
@@ -135,6 +156,9 @@ class FunctionSummary:
     payload_risks: tuple[PayloadRisk, ...] = ()
     mutable_defaults: tuple[MutableDefault, ...] = ()
     dispatches: tuple[DispatchSite, ...] = ()
+    attr_writes: tuple[AttrWrite, ...] = ()
+    #: lines of explicit ``raise`` statements (exception-path effect model)
+    raises: tuple[int, ...] = ()
 
 
 @dataclass(slots=True)
@@ -155,6 +179,12 @@ class ModuleInfo:
     #: class name -> base-class dotted names as written (for hierarchy
     #: analysis: calls through a base annotation reach every override)
     classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: class name -> names assigned at class level (marker attributes such
+    #: as ``batch_fallback`` for the kernel-parity pass)
+    class_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: module-level names bound to constructed class instances — shared
+    #: state the attribute-mutation tracking (ABG331) watches
+    instance_globals: tuple[str, ...] = ()
     functions: dict[str, FunctionSummary] = field(default_factory=dict)
 
 
@@ -166,6 +196,7 @@ _TUPLE_FIELDS: dict[str, type] = {
     "payload_risks": PayloadRisk,
     "mutable_defaults": MutableDefault,
     "dispatches": DispatchSite,
+    "attr_writes": AttrWrite,
 }
 
 
@@ -179,12 +210,18 @@ def module_payload(info: ModuleInfo) -> dict[str, Any]:
         "constants": list(info.constants),
         "mutable_globals": list(info.mutable_globals),
         "classes": {name: list(bases) for name, bases in info.classes.items()},
+        "class_attrs": {
+            name: list(attrs) for name, attrs in info.class_attrs.items()
+        },
+        "instance_globals": list(info.instance_globals),
         "functions": {
             name: {
                 "qualname": fn.qualname,
                 "line": fn.line,
                 "params": list(fn.params),
+                "defaults": list(fn.defaults),
                 "is_property": fn.is_property,
+                "raises": list(fn.raises),
                 **{
                     fname: [asdict(item) for item in getattr(fn, fname)]
                     for fname in _TUPLE_FIELDS
@@ -203,7 +240,9 @@ def module_from_payload(payload: Mapping[str, Any]) -> ModuleInfo:
             "qualname": str(raw["qualname"]),
             "line": int(raw["line"]),
             "params": tuple(raw["params"]),
+            "defaults": tuple(raw.get("defaults", ())),
             "is_property": bool(raw.get("is_property", False)),
+            "raises": tuple(int(r) for r in raw.get("raises", ())),
         }
         for fname, cls in _TUPLE_FIELDS.items():
             kwargs[fname] = tuple(cls(**item) for item in raw[fname])
@@ -218,5 +257,10 @@ def module_from_payload(payload: Mapping[str, Any]) -> ModuleInfo:
         classes={
             name: tuple(bases) for name, bases in payload["classes"].items()
         },
+        class_attrs={
+            name: tuple(attrs)
+            for name, attrs in payload.get("class_attrs", {}).items()
+        },
+        instance_globals=tuple(payload.get("instance_globals", ())),
         functions=functions,
     )

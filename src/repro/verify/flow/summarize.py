@@ -33,6 +33,7 @@ from __future__ import annotations
 import ast
 
 from .model import (
+    AttrWrite,
     CallSite,
     DispatchSite,
     FunctionSummary,
@@ -175,6 +176,46 @@ def _annotation_classes(node: ast.expr | None) -> tuple[str, ...]:
     return ()
 
 
+def _default_sources(args: ast.arguments, params: tuple[str, ...]) -> tuple[str, ...]:
+    """Default-value source text aligned to ``params`` (``""`` = none).
+
+    Positional defaults right-align onto ``posonlyargs + args``; keyword-only
+    defaults align onto ``kwonlyargs`` positionally.  Kept as ``ast.unparse``
+    text so the kernel-parity pass can compare an override's defaults against
+    the base declaration's without evaluating anything.
+    """
+    by_name: dict[str, str] = {}
+    positional = [*args.posonlyargs, *args.args]
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        by_name[arg.arg] = ast.unparse(default)
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            by_name[arg.arg] = ast.unparse(kw_default)
+    return tuple(by_name.get(name, "") for name in params)
+
+
+def _chain_root(node: ast.expr) -> tuple[str, str] | None:
+    """``(root name, dotted path below it)`` of an attribute/subscript chain.
+
+    ``cfg.limits.max`` -> ``("cfg", "limits.max")``; subscripts along the
+    chain contribute a ``[]`` segment (``table[k].count`` ->
+    ``("table", "[].count")``).  ``None`` when the chain does not bottom out
+    in a plain name.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append("[]")
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id, ".".join(reversed(parts))
+        else:
+            return None
+
+
 def _is_set_annotation(node: ast.expr | None) -> bool:
     if node is None:
         return False
@@ -208,6 +249,7 @@ class _FunctionScanner(ast.NodeVisitor):
         if args.kwarg:
             all_args.append(args.kwarg)
         self.params = tuple(a.arg for a in all_args)
+        self.defaults = _default_sources(args, self.params)
 
         self.calls: list[CallSite] = []
         self.global_writes: list[GlobalWrite] = []
@@ -216,6 +258,8 @@ class _FunctionScanner(ast.NodeVisitor):
         self.payload_risks: list[PayloadRisk] = []
         self.mutable_defaults: list[MutableDefault] = []
         self.dispatches: list[DispatchSite] = []
+        self.attr_writes: list[AttrWrite] = []
+        self.raises: list[int] = []
 
         self.declared_globals: set[str] = set()
         self.declared_nonlocals: set[str] = set()
@@ -458,6 +502,8 @@ class _FunctionScanner(ast.NodeVisitor):
                         self.global_writes.append(
                             GlobalWrite(name=base.id, line=line, kind="mutation")
                         )
+                    else:
+                        self._record_attr_write(sub, line)
                 elif isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Store):
                     base = sub.value
                     if isinstance(base, ast.Name) and base.id != "self" and (
@@ -467,6 +513,44 @@ class _FunctionScanner(ast.NodeVisitor):
                         self.global_writes.append(
                             GlobalWrite(name=base.id, line=line, kind="mutation")
                         )
+                    else:
+                        self._record_attr_write(sub, line)
+
+    def _record_attr_write(self, node: ast.expr, line: int, suffix: str = "") -> None:
+        """Attribute-level mutation tracking (flow v2): resolve the chain's
+        root name and classify it as shared module state or a parameter.
+
+        Catches what the direct base-``Name`` checks cannot: mutations
+        through dataclass fields of module-level instances
+        (``CONFIG.limits.max = 1``, ``CONFIG.items.append(x)``) and
+        mutations of caller-visible state through parameters (the
+        exception-path retry-replay hazard's ingredient).
+        """
+        chain = _chain_root(node)
+        if chain is None:
+            return
+        root, attr = chain
+        if root in ("self", "cls"):
+            return
+        if suffix:
+            attr = f"{attr}.{suffix}" if attr else suffix
+        if root in self.params:
+            kind = "param"
+        elif root not in self.local_bindings and (
+            root in self.info.mutable_globals
+            or root in self.info.instance_globals
+            or root in self.declared_globals
+        ):
+            kind = "global"
+        else:
+            return
+        self.attr_writes.append(
+            AttrWrite(root=root, attr=attr, line=line, root_kind=kind)
+        )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.raises.append(node.lineno)
+        self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         target = node.target
@@ -539,6 +623,10 @@ class _FunctionScanner(ast.NodeVisitor):
                 self.global_writes.append(
                     GlobalWrite(name=base.id, line=node.lineno, kind="mutation")
                 )
+            else:
+                self._record_attr_write(
+                    base, node.lineno, suffix=f"{node.func.attr}()"
+                )
         self.generic_visit(node)
 
     def _check_rng(self, node: ast.Call, expanded: str) -> None:
@@ -610,6 +698,10 @@ class _FunctionScanner(ast.NodeVisitor):
                 )
             elif dotted is not None:
                 self.dispatches.append(DispatchSite(callee=dotted, line=node.lineno))
+            else:
+                # dynamic payload (computed callable, subscript, call result):
+                # unresolvable by name — --strict-roots refuses these (ABG333)
+                self.dispatches.append(DispatchSite(callee="", line=node.lineno))
         for arg in [*node.args[1:], *[k.value for k in node.keywords]]:
             for sub in ast.walk(arg):
                 if isinstance(sub, ast.Lambda):
@@ -659,6 +751,7 @@ class _FunctionScanner(ast.NodeVisitor):
             qualname=self.qualname,
             line=self.node.lineno,
             params=self.params,
+            defaults=self.defaults,
             is_property=is_property,
             calls=tuple(self.calls),
             global_writes=tuple(self.global_writes),
@@ -667,6 +760,8 @@ class _FunctionScanner(ast.NodeVisitor):
             payload_risks=tuple(self.payload_risks),
             mutable_defaults=tuple(self.mutable_defaults),
             dispatches=tuple(self.dispatches),
+            attr_writes=tuple(self.attr_writes),
+            raises=tuple(self.raises),
         )
 
 
@@ -684,7 +779,16 @@ def summarize_module(source: str, path: str, module: str | None = None) -> Modul
 
     constants: list[str] = []
     mutables: list[str] = []
+    instance_globals: list[str] = []
     classes: dict[str, tuple[str, ...]] = {}
+    class_attrs: dict[str, tuple[str, ...]] = {}
+
+    def _is_instance_ctor(value: ast.expr) -> bool:
+        """``NAME = Ctor(...)`` at module level: shared instance state."""
+        if not isinstance(value, ast.Call):
+            return False
+        ctor = _dotted_name(value.func)
+        return ctor is not None and ctor.split(".")[-1][:1].isupper()
 
     for stmt in tree.body:
         if isinstance(stmt, ast.Import):
@@ -714,6 +818,8 @@ def summarize_module(source: str, path: str, module: str | None = None) -> Modul
                         constants.append(target.id)
                     elif _mutable_value(value):
                         mutables.append(target.id)
+                    elif _is_instance_ctor(value):
+                        instance_globals.append(target.id)
         elif isinstance(stmt, ast.ClassDef):
             bases = tuple(
                 name
@@ -721,10 +827,23 @@ def summarize_module(source: str, path: str, module: str | None = None) -> Modul
                 if (name := _dotted_name(base)) is not None
             )
             classes[stmt.name] = bases
+            attrs: list[str] = []
+            for sub in stmt.body:
+                if isinstance(sub, ast.Assign):
+                    attrs.extend(
+                        t.id for t in sub.targets if isinstance(t, ast.Name)
+                    )
+                elif isinstance(sub, ast.AnnAssign) and isinstance(
+                    sub.target, ast.Name
+                ):
+                    attrs.append(sub.target.id)
+            class_attrs[stmt.name] = tuple(attrs)
 
     info.constants = tuple(constants)
     info.mutable_globals = tuple(mutables)
+    info.instance_globals = tuple(instance_globals)
     info.classes = classes
+    info.class_attrs = class_attrs
 
     def _scan(node: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str) -> None:
         info.functions[qualname] = _FunctionScanner(info, qualname, node).summary()

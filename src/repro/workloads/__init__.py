@@ -1,7 +1,12 @@
 """Workload generators: fork-join jobs, multiprogrammed job sets, and
 parallelism profiles."""
 
-from .arrivals import poisson_releases, staggered_releases, uniform_releases
+from .arrivals import (
+    poisson_releases,
+    staggered_releases,
+    trace_releases,
+    uniform_releases,
+)
 from .forkjoin import (
     ForkJoinGenerator,
     constant_parallelism_job,
@@ -16,6 +21,7 @@ __all__ = [
     "poisson_releases",
     "uniform_releases",
     "staggered_releases",
+    "trace_releases",
     "ForkJoinGenerator",
     "constant_parallelism_job",
     "fork_join_job",

@@ -8,9 +8,16 @@ variants of the Figure 6 experiment.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-__all__ = ["poisson_releases", "uniform_releases", "staggered_releases"]
+__all__ = [
+    "poisson_releases",
+    "uniform_releases",
+    "staggered_releases",
+    "trace_releases",
+]
 
 
 def poisson_releases(
@@ -47,3 +54,22 @@ def staggered_releases(count: int, gap: int) -> list[int]:
     if gap < 0:
         raise ValueError("gap must be non-negative")
     return [i * gap for i in range(count)]
+
+
+def trace_releases(trace: Sequence[float]) -> list[int]:
+    """Release times replayed from a recorded arrival trace.
+
+    The trace must be non-negative and nondecreasing; times are rounded to
+    integer quanta and shifted so the first job releases at 0 (the
+    open-system experiments measure everything relative to the first
+    arrival, matching the other generators).
+    """
+    if len(trace) == 0:
+        raise ValueError("trace contains no release times")
+    times = [int(round(float(t))) for t in trace]
+    if any(t < 0 for t in times):
+        raise ValueError("release times must be non-negative")
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("trace release times must be nondecreasing")
+    base = times[0]
+    return [t - base for t in times]

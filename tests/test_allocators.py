@@ -246,13 +246,67 @@ class TestDEQArrayPath:
             deq.allocate_batch(ids, reqs, 2)
 
     def test_base_allocator_has_no_array_path(self):
-        rr = RoundRobinAllocator()
+        from repro.allocators.base import Allocator
+
+        class MappingOnly(Allocator):
+            batch_fallback = True  # scalar-only by design (ABG301 marker)
+
+            def allocate(self, requests, total):
+                return {j: 1 for j in requests}
+
         assert (
-            rr.allocate_batch(
+            MappingOnly().allocate_batch(
                 np.asarray([1], dtype=np.int64), np.asarray([2], dtype=np.int64), 4
             )
             is None
         )
+
+
+class TestRoundRobinArrayPath:
+    """Round-robin's allocate_batch must agree with allocate bit for bit —
+    outputs AND rotation state — across interleaved entry points."""
+
+    def test_matches_mapping_path_across_quanta(self):
+        rng = np.random.default_rng(7)
+        scalar = RoundRobinAllocator()
+        batched = RoundRobinAllocator()
+        mixed = RoundRobinAllocator()
+        for q in range(40):
+            n = int(rng.integers(1, 17))
+            total = int(rng.integers(n, 200))
+            ids = np.sort(rng.choice(1000, size=n, replace=False)).astype(np.int64)
+            reqs = rng.integers(1, 60, size=n).astype(np.int64)
+            requests = {int(j): int(d) for j, d in zip(ids, reqs)}
+            expected = scalar.allocate(requests, total)
+            arr = batched.allocate_batch(ids, reqs, total)
+            assert arr is not None and arr.dtype == np.int64
+            assert {int(i): int(a) for i, a in zip(ids, arr)} == expected
+            if q % 2 == 0:
+                got = dict(mixed.allocate(requests, total))
+            else:
+                marr = mixed.allocate_batch(ids, reqs, total)
+                got = {int(i): int(a) for i, a in zip(ids, marr)}
+            assert got == expected
+        assert batched._rotation == scalar._rotation == mixed._rotation
+
+    def test_empty_batch_does_not_advance_rotation(self):
+        rr = RoundRobinAllocator()
+        empty = np.zeros(0, dtype=np.int64)
+        out = rr.allocate_batch(empty, empty, 8)
+        assert out is not None and out.size == 0
+        assert rr._rotation == 0 and rr.allocate({}, 8) == {}
+
+    def test_validation_errors_match_mapping_path(self):
+        rr = RoundRobinAllocator()
+        one = np.asarray([5], dtype=np.int64)
+        with pytest.raises(ValueError, match="at least one processor"):
+            rr.allocate_batch(one, np.asarray([3], dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="job 5 must request at least one"):
+            rr.allocate_batch(one, np.asarray([0], dtype=np.int64), 4)
+        ids = np.arange(3, dtype=np.int64)
+        reqs = np.ones(3, dtype=np.int64)
+        with pytest.raises(ValueError, match=r"\|J\| <= P"):
+            rr.allocate_batch(ids, reqs, 2)
 
 
 class TestValidateAllocationArrays:

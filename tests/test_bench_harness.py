@@ -12,6 +12,7 @@ from repro.bench import (
     BenchReport,
     ScenarioTiming,
     SCENARIOS,
+    compare_memory,
     compare_reports,
     load_report,
     report_payload,
@@ -21,7 +22,13 @@ from repro.bench import (
 )
 
 
-def _timing(name: str, *, seconds: float = 0.05, normalized: float = 1.0) -> ScenarioTiming:
+def _timing(
+    name: str,
+    *,
+    seconds: float = 0.05,
+    normalized: float = 1.0,
+    peak_bytes: int = 0,
+) -> ScenarioTiming:
     return ScenarioTiming(
         name=name,
         description="",
@@ -30,6 +37,7 @@ def _timing(name: str, *, seconds: float = 0.05, normalized: float = 1.0) -> Sce
         units_per_second=100 / seconds,
         normalized=normalized,
         repeats=1,
+        peak_bytes=peak_bytes,
     )
 
 
@@ -185,3 +193,60 @@ class TestRegressionGate:
         base = _report("old", {"x": 5.0})
         cur = _report("new", {"x": 0.5})
         assert compare_reports(cur, base) == []
+
+
+def _mem_report(rev: str, peaks: dict[str, int], scale: str = "smoke") -> BenchReport:
+    r = BenchReport(rev=rev, scale=scale, calibration_seconds=0.05)
+    for name, peak in peaks.items():
+        r.timings.append(_timing(name, peak_bytes=peak))
+    return r
+
+
+class TestMemoryGate:
+    MB = 1_000_000
+
+    def test_growth_within_gate_passes(self):
+        base = _mem_report("old", {"x": 10 * self.MB})
+        cur = _mem_report("new", {"x": 12 * self.MB})
+        assert compare_memory(cur, base, max_regression=0.25) == []
+
+    def test_growth_beyond_gate_flagged(self):
+        base = _mem_report("old", {"x": 10 * self.MB})
+        cur = _mem_report("new", {"x": 13 * self.MB})
+        regs = compare_memory(cur, base, max_regression=0.25)
+        assert [r.scenario for r in regs] == ["x"]
+        assert regs[0].growth == pytest.approx(1.3)
+        assert regs[0].baseline_peak_bytes == 10 * self.MB
+        assert regs[0].current_peak_bytes == 13 * self.MB
+
+    def test_small_footprints_below_floor_skipped(self):
+        base = _mem_report("old", {"x": 100_000})
+        cur = _mem_report("new", {"x": 300_000})  # 3x, but under min_bytes
+        assert compare_memory(cur, base) == []
+
+    def test_schema1_zero_peak_baseline_skipped(self):
+        base = _mem_report("old", {"x": 0})
+        cur = _mem_report("new", {"x": 50 * self.MB})
+        assert compare_memory(cur, base) == []
+
+    def test_new_scenarios_skipped(self):
+        base = _mem_report("old", {"x": 10 * self.MB})
+        cur = _mem_report("new", {"x": 10 * self.MB, "brand-new": 90 * self.MB})
+        assert compare_memory(cur, base) == []
+
+    def test_improvements_never_flagged(self):
+        base = _mem_report("old", {"x": 50 * self.MB})
+        cur = _mem_report("new", {"x": 10 * self.MB})
+        assert compare_memory(cur, base) == []
+
+    def test_scale_mismatch_rejected(self):
+        base = _mem_report("old", {"x": 10 * self.MB}, scale="default")
+        cur = _mem_report("new", {"x": 10 * self.MB}, scale="smoke")
+        with pytest.raises(ValueError):
+            compare_memory(cur, base)
+
+    def test_negative_gate_rejected(self):
+        base = _mem_report("old", {"x": 10 * self.MB})
+        cur = _mem_report("new", {"x": 10 * self.MB})
+        with pytest.raises(ValueError):
+            compare_memory(cur, base, max_regression=-0.1)

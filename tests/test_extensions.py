@@ -21,6 +21,7 @@ from repro.sim.stats import bootstrap_ci, ratio_ci
 from repro.workloads.arrivals import (
     poisson_releases,
     staggered_releases,
+    trace_releases,
     uniform_releases,
 )
 
@@ -56,6 +57,44 @@ class TestArrivalGenerators:
             uniform_releases(rng, 0, 10)
         with pytest.raises(ValueError):
             staggered_releases(2, -1)
+
+    def test_poisson_deterministic_under_fixed_seed(self):
+        a = poisson_releases(np.random.default_rng(1234), 50, 75.0)
+        b = poisson_releases(np.random.default_rng(1234), 50, 75.0)
+        assert a == b
+        assert a != poisson_releases(np.random.default_rng(4321), 50, 75.0)
+
+    def test_uniform_deterministic_under_fixed_seed(self):
+        a = uniform_releases(np.random.default_rng(7), 30, 1000)
+        b = uniform_releases(np.random.default_rng(7), 30, 1000)
+        assert a == b
+
+    def test_trace_shifts_to_zero_and_rounds(self):
+        assert trace_releases([5.0, 7.4, 9.6]) == [0, 2, 5]
+
+    def test_trace_zero_based_passthrough(self):
+        assert trace_releases([0, 3, 3, 8]) == [0, 3, 3, 8]
+
+    def test_trace_accepts_numpy_array(self):
+        assert trace_releases(np.array([2.0, 4.0, 10.0])) == [0, 2, 8]
+
+    def test_trace_replay_is_deterministic(self):
+        trace = [1.5, 2.5, 40.0, 40.0, 99.9]
+        assert trace_releases(trace) == trace_releases(trace)
+
+    def test_trace_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_releases([])
+        with pytest.raises(ValueError):
+            trace_releases(np.zeros(0))
+
+    def test_trace_negative_rejected(self):
+        with pytest.raises(ValueError):
+            trace_releases([-1.0, 2.0])
+
+    def test_trace_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            trace_releases([5.0, 3.0])
 
 
 class TestArrivalsExperiment:

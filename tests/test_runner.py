@@ -6,7 +6,14 @@ import json
 
 import pytest
 
-from repro.experiments.runner import SCALES, resume_status, run_everything
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import (
+    DEFAULT_TASK_TIMEOUTS,
+    SCALES,
+    default_task_timeout,
+    resume_status,
+    run_everything,
+)
 
 
 class TestRunner:
@@ -88,3 +95,41 @@ class TestRunnerCli:
         out = capsys.readouterr().out
         assert "resuming: " in out
         assert "(100%)" in out  # everything journaled -> full replay
+
+
+class TestTaskTimeoutDefaults:
+    def test_every_scale_has_a_default(self):
+        assert set(DEFAULT_TASK_TIMEOUTS) == set(SCALES)
+
+    def test_defaults_grow_with_scale(self):
+        assert default_task_timeout("smoke") == 120.0
+        assert default_task_timeout("reduced") == 900.0
+        assert default_task_timeout("full") == 3600.0
+        assert (
+            default_task_timeout("smoke")
+            < default_task_timeout("reduced")
+            < default_task_timeout("full")
+        )
+
+    def test_unknown_scale_has_no_default(self):
+        assert default_task_timeout("galactic") is None
+
+    def _capture_map(self, monkeypatch) -> dict:
+        captured: dict = {}
+
+        def fake_map(fn, items, **kwargs):
+            captured.update(kwargs)
+            return []
+
+        monkeypatch.setattr(runner_mod, "map_deterministic", fake_map)
+        return captured
+
+    def test_run_everything_applies_scale_default(self, tmp_path, monkeypatch):
+        captured = self._capture_map(monkeypatch)
+        run_everything(tmp_path, scale="smoke")
+        assert captured["task_timeout"] == 120.0
+
+    def test_run_everything_honors_explicit_timeout(self, tmp_path, monkeypatch):
+        captured = self._capture_map(monkeypatch)
+        run_everything(tmp_path, scale="smoke", task_timeout=7.5)
+        assert captured["task_timeout"] == 7.5

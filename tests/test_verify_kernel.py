@@ -1,0 +1,578 @@
+"""Tests for the kernel-parity and numerical-determinism passes (ABG3xx).
+
+Golden fixtures per rule (a minimal positive plus the idiomatic negative),
+the ``batch_fallback`` opt-out marker, the flow-analyzer v2 rules
+(attribute-level mutation tracking, exception-path effects, strict dispatch
+roots), the analyzer-version cache invalidation, and the seeded-mutation
+acceptance checks from the issue: swapping a stable sort for an unstable
+one, deleting an ``allocate_batch`` override, and mutating shared module
+state on a worker path must each produce the expected ABG3xx finding via
+``python -m repro lint --deep --format=json``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.verify.flow import (
+    ParityContract,
+    SummaryCache,
+    analyze_paths,
+    analyzer_version,
+    is_kernel_path,
+)
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Synthetic contract used by the parity fixtures: one scalar/batched method
+#: pair rooted at ``m.Base``, mirroring the real Allocator contract.
+CONTRACT = ParityContract(
+    module="m", cls="Base", scalar="allocate", batch="allocate_batch"
+)
+
+BASE = """\
+    class Base:
+        batch_fallback = False
+
+        def allocate(self, requests, total):
+            return {}
+
+        def allocate_batch(self, ids, requests, total):
+            return None
+
+"""
+
+
+def parity_codes(tmp_path: Path, subclass_source: str) -> list[str]:
+    """Analyze ``Base`` plus one subclass under the synthetic contract."""
+    target = tmp_path / "m.py"
+    target.write_text(textwrap.dedent(BASE) + textwrap.dedent(subclass_source))
+    report = analyze_paths(
+        [target],
+        root_patterns=(),
+        kernel_patterns=(),
+        parity_contracts=(CONTRACT,),
+    )
+    return [f.code for f in report.findings]
+
+
+def kernel_codes(tmp_path: Path, source: str) -> list[str]:
+    """Run the numeric pass over one synthetic kernel module."""
+    target = tmp_path / "engine" / "batched.py"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    report = analyze_paths([target], root_patterns=(), parity_contracts=())
+    return [f.code for f in report.findings]
+
+
+def flow_codes(
+    tmp_path: Path,
+    source: str,
+    *,
+    roots: tuple[str, ...] = ("m::worker",),
+    strict_roots: bool = False,
+) -> list[str]:
+    """Analyze one synthetic module rooted at ``worker``; return codes."""
+    target = tmp_path / "m.py"
+    target.write_text(textwrap.dedent(source))
+    report = analyze_paths(
+        [target],
+        root_patterns=(),
+        extra_roots=roots,
+        strict_roots=strict_roots,
+        kernel_patterns=(),
+        parity_contracts=(),
+    )
+    return [f.code for f in report.findings]
+
+
+class TestKernelPathMatching:
+    def test_repo_kernels_match(self):
+        assert is_kernel_path("src/repro/sim/multi_batched.py")
+        assert is_kernel_path("src/repro/engine/batched.py")
+        assert is_kernel_path("src/repro/allocators/equipartition.py")
+        assert is_kernel_path("src/repro/dag/structure.py")
+
+    def test_non_kernels_do_not_match(self):
+        assert not is_kernel_path("src/repro/experiments/runner.py")
+        assert not is_kernel_path("src/repro/verify/lint.py")
+
+    def test_numeric_pass_skips_non_kernel_files(self, tmp_path):
+        target = tmp_path / "other.py"
+        target.write_text("import numpy as np\n\nORDER = np.argsort([3, 1])\n")
+        report = analyze_paths([target], root_patterns=(), parity_contracts=())
+        assert report.findings == []
+
+
+class TestParityPass:
+    def test_missing_batch_counterpart_flagged(self, tmp_path):
+        sub = """\
+
+            class Greedy(Base):
+                def allocate(self, requests, total):
+                    return dict(requests)
+        """
+        assert parity_codes(tmp_path, sub) == ["ABG301"]
+
+    def test_marker_opts_out(self, tmp_path):
+        sub = """\
+
+            class Greedy(Base):
+                batch_fallback = True
+
+                def allocate(self, requests, total):
+                    return dict(requests)
+        """
+        assert parity_codes(tmp_path, sub) == []
+
+    def test_complete_pair_is_clean(self, tmp_path):
+        sub = """\
+
+            class Greedy(Base):
+                def allocate(self, requests, total):
+                    return dict(requests)
+
+                def allocate_batch(self, ids, requests, total):
+                    return requests
+        """
+        assert parity_codes(tmp_path, sub) == []
+
+    def test_scalar_override_inheriting_ancestor_batch_flagged(self, tmp_path):
+        sub = """\
+
+            class Mid(Base):
+                def allocate(self, requests, total):
+                    return dict(requests)
+
+                def allocate_batch(self, ids, requests, total):
+                    return requests
+
+            class Leaf(Mid):
+                def allocate(self, requests, total):
+                    return {}
+        """
+        assert parity_codes(tmp_path, sub) == ["ABG302"]
+
+    def test_parameter_drift_flagged(self, tmp_path):
+        sub = """\
+
+            class Greedy(Base):
+                def allocate(self, reqs, total):
+                    return dict(reqs)
+
+                def allocate_batch(self, ids, requests, total):
+                    return requests
+        """
+        assert parity_codes(tmp_path, sub) == ["ABG303"]
+
+    def test_default_drift_flagged(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            textwrap.dedent(
+                """\
+                class Base:
+                    def allocate(self, requests, total=64):
+                        return {}
+
+                    def allocate_batch(self, ids, requests, total=64):
+                        return None
+
+
+                class Greedy(Base):
+                    def allocate(self, requests, total=32):
+                        return dict(requests)
+
+                    def allocate_batch(self, ids, requests, total=64):
+                        return requests
+                """
+            )
+        )
+        report = analyze_paths(
+            [target],
+            root_patterns=(),
+            kernel_patterns=(),
+            parity_contracts=(CONTRACT,),
+        )
+        assert [f.code for f in report.findings] == ["ABG303"]
+
+    def test_suppression_with_reason_honored(self, tmp_path):
+        sub = """\
+
+            class Greedy(Base):
+                def allocate(self, requests, total):  # abg: allow[ABG301] reason=scalar-only adapter
+                    return dict(requests)
+        """
+        assert parity_codes(tmp_path, sub) == []
+
+    def test_contract_base_absent_is_a_noop(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("class Unrelated:\n    pass\n")
+        report = analyze_paths(
+            [target],
+            root_patterns=(),
+            kernel_patterns=(),
+            parity_contracts=(CONTRACT,),
+        )
+        assert report.findings == []
+
+
+class TestNumericPass:
+    def test_unstable_argsort_flagged(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def repack(jids):
+                return np.argsort(jids)
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG311"]
+
+    def test_method_argsort_flagged(self, tmp_path):
+        src = """\
+            def repack(jids):
+                return jids.argsort()
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG311"]
+
+    def test_stable_argsort_is_clean(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def repack(jids):
+                return np.argsort(jids, kind="stable")
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_float_reduction_over_dict_view_flagged(self, tmp_path):
+        src = """\
+            def total_work(spans):
+                return sum(spans.values())
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG312"]
+
+    def test_sorted_canonicalizes_the_reduction(self, tmp_path):
+        src = """\
+            def total_work(spans):
+                return sum(sorted(spans.values()))
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_missing_dtype_flagged(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def indices(n):
+                return np.arange(n)
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG313"]
+
+    def test_pinned_dtype_is_clean(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def indices(n):
+                return np.arange(n, dtype=np.int64)
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_asarray_of_typed_numpy_call_exempt(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def widen(n):
+                return np.asarray(np.zeros(n, dtype=np.float64))
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_zeros_needs_no_dtype(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def buffer(n):
+                return np.zeros(n)
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_out_aliasing_input_flagged(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def accumulate(a, b):
+                return np.add(a, b, out=a)
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG314"]
+
+    def test_distinct_out_buffer_is_clean(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def accumulate(a, b, scratch):
+                return np.add(a, b, out=scratch)
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_shared_sentinel_stored_without_copy_flagged(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            _EMPTY = np.zeros(0, dtype=np.int64)
+
+
+            class State:
+                def __init__(self):
+                    self.order = _EMPTY
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG314"]
+
+    def test_copied_sentinel_is_clean(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            _EMPTY = np.zeros(0, dtype=np.int64)
+
+
+            class State:
+                def __init__(self):
+                    self.order = _EMPTY.copy()
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_array_built_from_dict_view_flagged(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def columns(spans):
+                return np.array(list(spans.values()), dtype=np.float64)
+        """
+        assert kernel_codes(tmp_path, src) == ["ABG315"]
+
+    def test_array_built_from_sorted_items_is_clean(self, tmp_path):
+        src = """\
+            import numpy as np
+
+            def columns(spans):
+                return np.array(sorted(spans.values()), dtype=np.float64)
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+    def test_suppression_with_reason_honored(self, tmp_path):
+        src = """\
+            def total(alloc):
+                return sum(alloc.values())  # abg: allow[ABG312] reason=integer sum; order cannot change it
+        """
+        assert kernel_codes(tmp_path, src) == []
+
+
+class TestFlowV2:
+    def test_attr_mutation_of_module_instance_flagged(self, tmp_path):
+        src = """\
+            CONFIG = Settings()
+
+            def worker(n):
+                CONFIG.limits.max_jobs = n
+                return n
+        """
+        assert flow_codes(tmp_path, src) == ["ABG331"]
+
+    def test_mutating_method_on_instance_attr_flagged(self, tmp_path):
+        src = """\
+            CONFIG = Settings()
+
+            def worker(n):
+                CONFIG.limits.append(n)
+                return n
+        """
+        assert flow_codes(tmp_path, src) == ["ABG331"]
+
+    def test_local_instance_mutation_is_fine(self, tmp_path):
+        src = """\
+            def worker(n):
+                cfg = Settings()
+                cfg.limits.max_jobs = n
+                return cfg
+        """
+        assert flow_codes(tmp_path, src) == []
+
+    def test_param_mutation_before_raise_flagged(self, tmp_path):
+        src = """\
+            def worker(acc, items):
+                acc.total += 1
+                if not items:
+                    raise ValueError("empty batch")
+                return acc
+        """
+        assert flow_codes(tmp_path, src) == ["ABG332"]
+
+    def test_validate_then_fill_is_fine(self, tmp_path):
+        src = """\
+            def worker(acc, items):
+                if not items:
+                    raise ValueError("empty batch")
+                acc.total += 1
+                return acc
+        """
+        assert flow_codes(tmp_path, src) == []
+
+    def test_strict_roots_flags_computed_payload(self, tmp_path):
+        src = """\
+            def worker(task, table, items):
+                return map_deterministic(table[task], items)
+        """
+        assert "ABG333" in flow_codes(tmp_path, src, strict_roots=True)
+
+    def test_default_mode_tolerates_computed_payload(self, tmp_path):
+        src = """\
+            def worker(task, table, items):
+                return map_deterministic(table[task], items)
+        """
+        assert flow_codes(tmp_path, src) == []
+
+    def test_strict_roots_exempts_forwarded_param(self, tmp_path):
+        src = """\
+            def worker(fn, items):
+                return map_deterministic(fn, items)
+        """
+        assert flow_codes(tmp_path, src, strict_roots=True) == []
+
+
+class TestAnalyzerVersionCache:
+    def _fixture(self, tmp_path: Path) -> Path:
+        target = tmp_path / "m.py"
+        target.write_text("def worker(x):\n    return x\n")
+        return target
+
+    def test_version_recorded_in_cache_file(self, tmp_path):
+        target = self._fixture(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([target], root_patterns=(), cache=SummaryCache(cache_path))
+        data = json.loads(cache_path.read_text())
+        assert data["analyzer"] == analyzer_version()
+
+    def test_stale_analyzer_version_discards_entries(self, tmp_path):
+        target = self._fixture(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([target], root_patterns=(), cache=SummaryCache(cache_path))
+        data = json.loads(cache_path.read_text())
+        data["analyzer"] = "0" * 16
+        cache_path.write_text(json.dumps(data))
+        report = analyze_paths(
+            [target], root_patterns=(), cache=SummaryCache(cache_path)
+        )
+        assert report.stats["cache_hits"] == 0
+        assert report.stats["cache_misses"] == 1
+
+    def test_version_tracks_the_rule_set(self, monkeypatch):
+        from repro.verify import findings as findings_mod
+
+        before = analyzer_version()
+        monkeypatch.setitem(findings_mod.RULES, "ABG999", "hypothetical rule")
+        assert analyzer_version() != before
+
+
+def _copy_tree(tmp_path: Path) -> Path:
+    """A private copy of ``src/repro`` the mutation tests can edit freely.
+
+    Dotted module names resolve identically because the package
+    ``__init__.py`` chain is copied along with the sources.
+    """
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, tree)
+    return tree
+
+
+def _mutate(tree: Path, rel: str, old: str, new: str) -> Path:
+    target = tree / rel
+    source = target.read_text()
+    assert source.count(old) == 1, f"mutation anchor not unique in {rel}"
+    target.write_text(source.replace(old, new))
+    return target
+
+
+def _lint_json(tree: Path, capsys, *extra: str) -> dict:
+    """Run ``lint --deep --format=json`` over the tree; return the payload."""
+    argv = ["lint", "--deep", "--no-cache", "--format", "json", *extra, str(tree)]
+    try:
+        rc = cli_main(argv)
+    except SystemExit as exc:
+        rc = exc.code
+    payload = json.loads(capsys.readouterr().out)
+    payload["_rc"] = rc
+    return payload
+
+
+class TestSeededMutations:
+    """The acceptance criteria: each seeded mutation of the real tree must
+    surface the expected ABG3xx finding through the CLI JSON output."""
+
+    def test_clean_tree_is_deep_clean_under_strict_roots(self, capsys):
+        payload = _lint_json(REPO_SRC, capsys, "--strict-roots")
+        assert payload["_rc"] == 0
+        assert payload["findings"] == []
+
+    def test_unstable_sort_swap_detected(self, tmp_path, capsys):
+        tree = _copy_tree(tmp_path)
+        _mutate(
+            tree,
+            "sim/multi_batched.py",
+            'np.argsort(jids, kind="stable")  # jids are unique',
+            "np.argsort(jids)",
+        )
+        payload = _lint_json(tree, capsys)
+        assert payload["_rc"] == 1
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["ABG311"]
+        assert payload["findings"][0]["path"].endswith("multi_batched.py")
+
+    def test_deleted_batch_override_detected(self, tmp_path, capsys):
+        tree = _copy_tree(tmp_path)
+        _mutate(
+            tree,
+            "allocators/equipartition.py",
+            "def allocate_batch(",
+            "def allocate_batch_disabled(",
+        )
+        payload = _lint_json(tree, capsys)
+        assert payload["_rc"] == 1
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["ABG301"]
+        assert payload["findings"][0]["path"].endswith("equipartition.py")
+
+    def test_shared_state_mutation_on_worker_path_detected(self, tmp_path, capsys):
+        tree = _copy_tree(tmp_path)
+        target = tree / "experiments" / "runner.py"
+        source = target.read_text()
+        anchor = "    if task_timeout is None:\n        task_timeout = default_task_timeout(scale)\n"
+        assert source.count(anchor) == 1
+        source = source.replace(
+            anchor, anchor + "    _PROBE_STATE.mode.flags = 1\n"
+        )
+        source += '\n\n_PROBE_STATE = Path("probe")\n'
+        target.write_text(source)
+        payload = _lint_json(tree, capsys)
+        assert payload["_rc"] == 1
+        probe = [
+            f
+            for f in payload["findings"]
+            if f["code"] == "ABG331" and f["path"].endswith("runner.py")
+        ]
+        assert len(probe) == 1
+
+    def test_reasonless_kernel_suppression_detected(self, tmp_path, capsys):
+        tree = _copy_tree(tmp_path)
+        _mutate(
+            tree,
+            "sim/multi_batched.py",
+            'np.argsort(jids, kind="stable")  # jids are unique',
+            "np.argsort(jids)  # abg: allow[ABG311]",
+        )
+        payload = _lint_json(tree, capsys)
+        assert payload["_rc"] == 1
+        codes = [f["code"] for f in payload["findings"]]
+        # a reasonless allow is inert: the finding still fires, plus ABG290
+        assert "ABG290" in codes
+        assert "ABG311" in codes
