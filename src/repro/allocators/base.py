@@ -80,6 +80,31 @@ class Allocator(ABC):
         """
         return None
 
+    def allocation_fixed_point(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        limit: int,
+    ) -> int:
+        """How many upcoming quanta this allocation is a fixed point for.
+
+        The superstep layer calls this after a quantum whose requests are
+        known to repeat: ``grants`` is the array :meth:`allocate_batch` just
+        returned for ``(ids, requests, total)``.  An implementation returns
+        ``k`` in ``[0, limit]`` such that the next ``k`` calls of
+        ``allocate_batch(ids, requests, total)`` are *guaranteed* to return
+        ``grants`` again, and it must advance its internal state (rotation
+        counters and the like) exactly as those ``k`` calls would — the
+        simulator then skips them wholesale, and the byte-for-byte artifact
+        guarantee depends on the state evolving identically.  Returning 0
+        always is correct (it merely disables multi-quantum fast-forwarding);
+        the base implementation knows nothing about the policy's state and
+        does exactly that.
+        """
+        return 0
+
 
 def validate_allocation(
     requests: Mapping[int, int], alloc: Mapping[int, int], total: int

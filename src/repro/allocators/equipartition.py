@@ -112,3 +112,43 @@ class DynamicEquiPartitioning(Allocator):
             self._rotation += 1
             break
         return out
+
+    def allocation_fixed_point(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        limit: int,
+    ) -> int:
+        """DEQ's allocation repeats exactly when the rotation cannot move it.
+
+        Re-deriving the waterfall (without granting) classifies the quantum:
+
+        - every job satisfied through the ``requests <= share`` rounds — the
+          allocation is a pure function of the requests and ``_rotation`` is
+          never consulted or advanced: a fixed point for any horizon;
+        - the rotating round runs with ``extra == 0`` — the equal split is
+          exact, so the offset is irrelevant to the grants, but ``_rotation``
+          still advances once per quantum (advance it by ``limit`` here);
+        - the rotating round runs with ``extra > 0`` — the bonus processors
+          move next quantum, so there is no fixed point at all.  Note the
+          grants alone cannot detect this case: when every unsatisfied job
+          requests ``share + 1``, the rotating round grants requests exactly.
+        """
+        if limit <= 0:
+            return 0
+        remaining = total
+        active = requests
+        while active.size:
+            share = remaining // active.size
+            low = active <= share
+            if low.any():
+                remaining -= int(active[low].sum())
+                active = active[~low]
+                continue
+            if remaining - share * active.size == 0:
+                self._rotation += limit
+                return limit
+            return 0
+        return limit

@@ -78,3 +78,21 @@ class RoundRobinAllocator(Allocator):
         self._rotation += 1
         bonus = ((np.arange(n, dtype=np.int64) - offset) % n) < extra
         return np.minimum(requests, share + bonus)
+
+    def allocation_fixed_point(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        limit: int,
+    ) -> int:
+        """Round-robin's grants depend on the rotation offset exactly when
+        the share division leaves a remainder; with ``extra == 0`` the
+        allocation is a pure function of the requests, though ``_rotation``
+        still advances once per call (advance it wholesale here)."""
+        n = int(ids.size)
+        if limit <= 0 or n == 0 or total % n:
+            return 0
+        self._rotation += limit
+        return limit

@@ -1,0 +1,158 @@
+"""Columnar backing store for :class:`~repro.core.types.JobTrace`.
+
+The batched simulation kernel (:mod:`repro.sim.multi_batched`) computes every
+quantum's measurements as aligned numpy arrays.  Materializing a
+:class:`~repro.core.types.QuantumRecord` per job-quantum just to sum a few
+fields afterwards is what bounded full-scale fig6; instead the kernel hands
+each finished job a :class:`TraceColumns` — one array per record field — and
+the trace answers its aggregates straight from the arrays, building the
+identical record objects only if someone actually iterates them.
+
+Bit-identity contract
+---------------------
+Every value in the columns is exactly the value the per-record path would
+have stored (the kernel emits the same arrays either way), and every
+aggregate here replays the per-record computation's arithmetic:
+
+- integer reductions (steps, work, waste) are exact in int64, so numpy sums
+  equal the python sums;
+- the float reduction ``total_span`` iterates python floats left to right —
+  the same IEEE-754 addition order as ``sum(r.span for r in records)`` —
+  rather than numpy's pairwise summation, which is faster but rounds
+  differently;
+- per-row derived values (``avg_parallelism``) repeat the record property's
+  python-scalar arithmetic.
+
+``build_records`` routes through
+:func:`~repro.core.types.quantum_records_from_columns`, so materialized
+records re-validate the same invariants the scalar constructor enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import QuantumRecord, quantum_records_from_columns
+
+__all__ = ["TraceColumns"]
+
+
+class TraceColumns:
+    """One job's whole per-quantum history as aligned columns.
+
+    ``index`` and ``start_step`` are per-row (a job's quanta are contiguous
+    but start at job-specific absolute steps); ``quantum_length`` is the
+    machine-wide constant ``L``.  The arrays may be views into a larger
+    simulation-wide buffer — they are never mutated after construction.
+    """
+
+    __slots__ = (
+        "quantum_length",
+        "index",
+        "request",
+        "request_int",
+        "available",
+        "allotment",
+        "work",
+        "span",
+        "steps",
+        "start_step",
+    )
+
+    def __init__(
+        self,
+        *,
+        quantum_length: int,
+        index: np.ndarray,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        available: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+        start_step: np.ndarray,
+    ) -> None:
+        self.quantum_length = quantum_length
+        self.index = index
+        self.request = request
+        self.request_int = request_int
+        self.available = available
+        self.allotment = allotment
+        self.work = work
+        self.span = span
+        self.steps = steps
+        self.start_step = start_step
+
+    def __len__(self) -> int:
+        return int(self.index.size)
+
+    # ------------------------------------------------------------------
+    # Aggregates (the values JobTrace computes from its record list)
+    # ------------------------------------------------------------------
+
+    def total_steps(self) -> int:
+        return int(self.steps.sum())
+
+    def total_work(self) -> int:
+        return int(self.work.sum())
+
+    def total_span(self) -> float:
+        # Left-to-right python-float addition, matching
+        # ``sum(r.span for r in records)`` bit for bit (numpy's pairwise
+        # summation would not).
+        total = 0.0
+        for value in self.span.tolist():
+            total += value
+        return total
+
+    def total_waste(self) -> int:
+        return int((self.allotment * self.steps - self.work).sum())
+
+    def allotted_steps(self) -> int:
+        """``sum(a(q) * steps(q))`` — the numerator of ``avg_allotment``."""
+        return int((self.allotment * self.steps).sum())
+
+    def first_start(self) -> int:
+        return int(self.start_step[0])
+
+    def request_series(self) -> list[float]:
+        result: list[float] = self.request.tolist()
+        return result
+
+    def allotment_series(self) -> list[int]:
+        result: list[int] = self.allotment.tolist()
+        return result
+
+    def avg_parallelism_series(self, *, full_only: bool) -> list[float]:
+        if full_only:
+            mask = self.steps == self.quantum_length
+            work = self.work[mask]
+            span = self.span[mask]
+        else:
+            work = self.work
+            span = self.span
+        # Python-scalar division per row, as QuantumRecord.avg_parallelism
+        # computes it (int / float), with the same empty-quantum zero.
+        return [
+            0.0 if tinf == 0 else t1 / tinf
+            for t1, tinf in zip(work.tolist(), span.tolist())
+        ]
+
+    # ------------------------------------------------------------------
+
+    def build_records(self) -> list[QuantumRecord]:
+        """Materialize the identical record list the per-record path would
+        have appended (vectorized validation, trusted construction)."""
+        return quantum_records_from_columns(
+            index=self.index.tolist(),
+            request=self.request,
+            request_int=self.request_int,
+            available=self.available,
+            allotment=self.allotment,
+            work=self.work,
+            span=self.span,
+            steps=self.steps,
+            quantum_length=self.quantum_length,
+            start_step=self.start_step.tolist(),
+        )

@@ -66,5 +66,55 @@ class FeedbackPolicy(ABC):
         """
         return None
 
+    def advance_request_batch(
+        self,
+        *,
+        request: np.ndarray,
+        request_int: np.ndarray,
+        allotment: np.ndarray,
+        work: np.ndarray,
+        span: np.ndarray,
+        steps: np.ndarray,
+        quanta: int,
+    ) -> np.ndarray | None:
+        """Closed-form multi-quantum advance: the requests after ``quanta``
+        consecutive quanta that all repeat exactly these measurements, or
+        ``None`` when the recurrence cannot be fast-forwarded.
+
+        The superstep layer (:mod:`repro.sim.multi`) fast-forwards ``K``
+        quanta only when the per-quantum measurements are literally constant,
+        so the K-step recurrence collapses: every policy in the repo — ABG's
+        geometric filter ``d' = r*d + (1-r)*A``, A-Greedy's multiplicative
+        update, and the fixed policies — maps a *bitwise* fixed point of one
+        application to itself for any ``K``, and any ``d`` that is **not** a
+        fixed point changes the request at the very next boundary, which is
+        an event that ends the superstep.  The base implementation therefore
+        evaluates :meth:`next_request_batch` once and returns the result iff
+        it is bit-identical to ``request``; a policy with no batch form
+        (``next_request_batch`` is ``None`` — per-job scalar fallback)
+        returns ``None``, forcing the superstep to ``K = 1``.
+
+        A subclass whose recurrence moves even at a fixed record (e.g. a
+        time-dependent controller) inherits correct behaviour automatically:
+        its ``next_request_batch`` result differs from ``request`` and the
+        superstep never engages.  ``quanta`` (>= 1) is part of the contract
+        for overrides that can advance a *moving* recurrence in closed form.
+        """
+        if quanta < 1:
+            raise ValueError("a superstep advance covers at least one quantum")
+        nxt = self.next_request_batch(
+            request=request,
+            request_int=request_int,
+            allotment=allotment,
+            work=work,
+            span=span,
+            steps=steps,
+        )
+        if nxt is None:
+            return None
+        if nxt.tobytes() == np.ascontiguousarray(request).tobytes():
+            return nxt
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -21,11 +21,14 @@ Conventions (matching the paper's notation):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import repeat
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:  # annotation-only: keep numpy off this module's import path
     import numpy as np
+
+    from .columnar import TraceColumns
 
 __all__ = [
     "QuantumRecord",
@@ -189,7 +192,7 @@ def quantum_records_from_columns(
     span: "np.ndarray",
     steps: "np.ndarray",
     quantum_length: int,
-    start_step: int,
+    start_step: int | Sequence[int],
 ) -> list[QuantumRecord]:
     """Construct one :class:`QuantumRecord` per row of aligned columns.
 
@@ -201,6 +204,10 @@ def quantum_records_from_columns(
     slot writes.  If any row is invalid, construction falls back to the
     scalar constructor so the offending row raises exactly the error —
     message, row order — the serial path would.
+
+    ``start_step`` is a scalar when the rows are one machine-wide quantum
+    (every job starts together) and a per-row sequence when the rows are one
+    job's whole columnar trace (each quantum starts at its own step).
     """
     valid = (
         (allotment >= 0)
@@ -214,6 +221,7 @@ def quantum_records_from_columns(
         & (span >= 0.0)
         & (span <= work + 1e-9)
     )
+    starts = repeat(start_step) if isinstance(start_step, int) else start_step
     rows = zip(
         index,
         request.tolist(),
@@ -223,11 +231,12 @@ def quantum_records_from_columns(
         work.tolist(),
         span.tolist(),
         steps.tolist(),
+        starts,
     )
     if not valid.all() or (len(index) and min(index) < 1):
         return [
-            QuantumRecord(i, d, di, p, a, t1, tinf, st, quantum_length, start_step)
-            for i, d, di, p, a, t1, tinf, st in rows
+            QuantumRecord(i, d, di, p, a, t1, tinf, st, quantum_length, s0)
+            for i, d, di, p, a, t1, tinf, st, s0 in rows
         ]
     new = object.__new__
     (
@@ -244,7 +253,7 @@ def quantum_records_from_columns(
     ) = _RECORD_SETTERS
     out: list[QuantumRecord] = []
     append = out.append
-    for i, d, di, p, a, t1, tinf, st in rows:
+    for i, d, di, p, a, t1, tinf, st, s0 in rows:
         r = new(QuantumRecord)
         s_index(r, i)
         s_request(r, d)
@@ -255,33 +264,90 @@ def quantum_records_from_columns(
         s_span(r, tinf)
         s_steps(r, st)
         s_quantum_length(r, quantum_length)
-        s_start_step(r, start_step)
+        s_start_step(r, s0)
         append(r)
     return out
 
 
-@dataclass(slots=True)
 class JobTrace:
     """The full per-quantum history of one job's execution.
 
     Aggregates the measurements the paper's evaluation reports: running time,
     wasted processor cycles, and the measured transition factor.
+
+    Backing stores
+    --------------
+    A trace is either *record-backed* (a plain list of
+    :class:`QuantumRecord`, appended as the serial simulation paths run) or
+    *columnar* — the batched simulation kernel attaches a
+    :class:`~repro.core.columnar.TraceColumns` of aligned per-quantum arrays
+    via :meth:`attach_columns`.  Columnar traces answer every aggregate
+    (running time, work, waste, series) straight from the arrays, and
+    materialize the identical record list lazily on first access to
+    :attr:`records` — the fig5/fig6 artifact writers that only need sums
+    never pay for record objects at all.  Either backing produces
+    bit-identical values.
     """
 
-    quantum_length: int
-    records: list[QuantumRecord] = field(default_factory=list)
-    release_time: int = 0
-    job_id: int | None = None
+    __slots__ = ("quantum_length", "release_time", "job_id", "_records", "_columns")
+
+    def __init__(
+        self,
+        quantum_length: int,
+        records: list[QuantumRecord] | None = None,
+        release_time: int = 0,
+        job_id: int | None = None,
+    ) -> None:
+        self.quantum_length = quantum_length
+        self._records: list[QuantumRecord] = records if records is not None else []
+        self.release_time = release_time
+        self.job_id = job_id
+        self._columns: "TraceColumns | None" = None
+
+    # ------------------------------------------------------------------
+    # Backing-store management
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[QuantumRecord]:
+        """The record list, materialized from the columnar backing on first
+        access (and from then on the live, mutable backing)."""
+        cols = self._columns
+        if cols is not None:
+            self._columns = None
+            self._records = cols.build_records()
+        return self._records
+
+    @records.setter
+    def records(self, records: list[QuantumRecord]) -> None:
+        self._columns = None
+        self._records = records
+
+    @property
+    def has_columns(self) -> bool:
+        """Whether the trace is still columnar (records not yet built)."""
+        return self._columns is not None
+
+    def attach_columns(self, columns: "TraceColumns") -> None:
+        """Adopt a columnar backing store.  Only an empty trace can adopt
+        one — mixing an existing record list with arrays would make the
+        lazily-built view ambiguous."""
+        if self._records or self._columns is not None:
+            raise ValueError("columnar backing requires an empty trace")
+        self._columns = columns
 
     def append(self, record: QuantumRecord) -> None:
-        if self.records and record.index != self.records[-1].index + 1:
+        if self.records and record.index != self._records[-1].index + 1:
             raise ValueError("quantum records must be appended in order")
-        if not self.records and record.index != 1:
+        if not self._records and record.index != 1:
             raise ValueError("first quantum record must have index 1")
-        self.records.append(record)
+        self._records.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        cols = self._columns
+        if cols is not None:
+            return len(cols)
+        return len(self._records)
 
     def __iter__(self) -> Iterator[QuantumRecord]:
         return iter(self.records)
@@ -292,6 +358,23 @@ class JobTrace:
             raise IndexError("quantum index starts at 1")
         return self.records[q - 1]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JobTrace):
+            return NotImplemented
+        return (
+            self.quantum_length == other.quantum_length
+            and self.release_time == other.release_time
+            and self.job_id == other.job_id
+            and self.records == other.records
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"JobTrace(quantum_length={self.quantum_length!r}, "
+            f"records={self.records!r}, release_time={self.release_time!r}, "
+            f"job_id={self.job_id!r})"
+        )
+
     # ------------------------------------------------------------------
     # Aggregate metrics
     # ------------------------------------------------------------------
@@ -299,14 +382,19 @@ class JobTrace:
     @property
     def running_time(self) -> int:
         """Total time steps from the job's first quantum to completion."""
-        return sum(r.steps for r in self.records)
+        cols = self._columns
+        if cols is not None:
+            return cols.total_steps()
+        return sum(r.steps for r in self._records)
 
     @property
     def completion_time(self) -> int:
         """Absolute completion step (start of first quantum + running time)."""
-        if not self.records:
+        if len(self) == 0:
             return self.release_time
-        return self.records[0].start_step + self.running_time
+        cols = self._columns
+        first = cols.first_start() if cols is not None else self._records[0].start_step
+        return first + self.running_time
 
     @property
     def response_time(self) -> int:
@@ -315,22 +403,36 @@ class JobTrace:
 
     @property
     def total_work(self) -> int:
-        return sum(r.work for r in self.records)
+        cols = self._columns
+        if cols is not None:
+            return cols.total_work()
+        return sum(r.work for r in self._records)
 
     @property
     def total_span(self) -> float:
-        return sum(r.span for r in self.records)
+        cols = self._columns
+        if cols is not None:
+            return cols.total_span()
+        return sum(r.span for r in self._records)
 
     @property
     def total_waste(self) -> int:
-        return sum(r.waste for r in self.records)
+        cols = self._columns
+        if cols is not None:
+            return cols.total_waste()
+        return sum(r.waste for r in self._records)
 
     @property
     def full_quanta(self) -> list[QuantumRecord]:
         return [r for r in self.records if r.is_full]
 
     def avg_parallelism_series(self, *, full_only: bool = True) -> list[float]:
-        recs: Iterable[QuantumRecord] = self.full_quanta if full_only else self.records
+        cols = self._columns
+        if cols is not None:
+            return cols.avg_parallelism_series(full_only=full_only)
+        recs: Iterable[QuantumRecord] = (
+            self.full_quanta if full_only else self._records
+        )
         return [r.avg_parallelism for r in recs]
 
     def measured_transition_factor(self) -> float:
@@ -341,10 +443,16 @@ class JobTrace:
         return transition_factor_of_series(series)
 
     def request_series(self) -> list[float]:
-        return [r.request for r in self.records]
+        cols = self._columns
+        if cols is not None:
+            return cols.request_series()
+        return [r.request for r in self._records]
 
     def allotment_series(self) -> list[int]:
-        return [r.allotment for r in self.records]
+        cols = self._columns
+        if cols is not None:
+            return cols.allotment_series()
+        return [r.allotment for r in self._records]
 
     @property
     def reallocation_count(self) -> int:
@@ -360,7 +468,10 @@ class JobTrace:
         total_steps = self.running_time
         if total_steps == 0:
             return 0.0
-        return sum(r.allotment * r.steps for r in self.records) / total_steps
+        cols = self._columns
+        if cols is not None:
+            return cols.allotted_steps() / total_steps
+        return sum(r.allotment * r.steps for r in self._records) / total_steps
 
 
 def transition_factor_of_series(parallelism: Sequence[float]) -> float:

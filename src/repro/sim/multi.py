@@ -22,12 +22,37 @@ everything.  Both paths produce bit-identical traces — the kernel replays
 the same closed-form chunk sequence as the per-job engines (see the kernel
 module docstring for the argument, and ``tests/test_sim_multi_batched.py``
 for the cross-validation).
+
+On the kernel path, records are emitted *columnar*: each quantum appends one
+group of aligned arrays to a :class:`~repro.sim.superstep.QuantumLog`, and
+finished traces get array-backed :class:`~repro.core.columnar.TraceColumns`
+views instead of eagerly-built record lists.
+
+Supersteps
+----------
+``superstep="auto"`` (the default) adds multi-quantum fast-forwarding on top
+of the kernel path.  Between *events* — a job completing, an arrival
+admission, or a feedback-driven request change — the simulation checks
+whether the next quantum is a literal fixed point of the previous one: the
+feedback recurrences hold every request bit-identical
+(:meth:`~repro.core.feedback.FeedbackPolicy.advance_request_batch`; a policy
+with only a scalar form forces ``K = 1``), the allocator certifies its grants
+repeat (:meth:`~repro.core.allocators.base.Allocator.allocation_fixed_point`),
+and every job's remaining segment chunks sustain identical pure quanta
+(regime-1 sustain / regime-2 drain closed forms in
+:mod:`repro.sim.superstep`).  When all hold, ``K`` quanta advance at once —
+state moves by closed form and the ``K`` identical records land as one
+repeat-group in the log.  ``superstep="off"`` disables only the
+fast-forwarding; either setting produces byte-identical traces and
+artifacts, because a superstep engages exactly when the per-quantum path
+would have produced those ``K`` identical quanta anyway.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import Literal, Sequence, cast
 
 import numpy as np
 
@@ -37,21 +62,24 @@ from ..allocators.base import (
     validate_allocation_arrays,
 )
 from ..core.overhead import NO_OVERHEAD, ReallocationOverhead
-from ..core.types import (
-    JobTrace,
-    QuantumRecord,
-    integer_request,
-    quantum_records_from_columns,
-)
+from ..core.types import JobTrace, QuantumRecord, integer_request
 from ..engine.base import JobExecutor
 from .jobs import JobSpec, make_executor
 from .metrics import makespan, mean_response_time
 from .multi_batched import MultiBatchKernel, segment_profile
 from .single import run_quantum_with_overhead
+from .superstep import QuantumGroup, QuantumLog
 
-__all__ = ["MultiJobResult", "simulate_job_set"]
+__all__ = ["MultiJobResult", "SUPERSTEP_ENV_VAR", "simulate_job_set"]
 
 BatchChoice = Literal["auto", "off"]
+SuperstepChoice = Literal["auto", "off"]
+
+#: Ambient override of the default superstep mode.  When a caller leaves
+#: ``superstep=None``, this environment variable (if set) picks the mode —
+#: the hook the CI byte-identity job uses to re-run the full artifact
+#: pipeline with fast-forwarding disabled and diff the output bytes.
+SUPERSTEP_ENV_VAR = "REPRO_SUPERSTEP"
 
 
 @dataclass(slots=True)
@@ -82,15 +110,146 @@ class MultiJobResult:
 
 
 def _scalar_feedback(
-    kernel: MultiBatchKernel, finished_pos: list[int], nk: int
+    kernel: MultiBatchKernel,
+    positions: Sequence[int],
+    group: QuantumGroup,
+    length: int,
+    start_step: int,
 ) -> None:
     """Per-record feedback for kernel slots whose policy has no vectorized
-    form — reads the record just appended to each unfinished slot's trace."""
-    fin = set(finished_pos)
-    for pos in range(nk):
-        if pos not in fin:
-            slot = kernel.slots[pos]
-            kernel.request[pos] = slot.policy.next_request(slot.trace.records[-1])
+    form — rebuilds each slot's record from the quantum's emitted columns
+    (identical values, so an identical next request)."""
+    for pos in positions:
+        slot = kernel.slots[pos]
+        record = QuantumRecord(
+            index=int(group.index0[pos]),
+            request=float(group.request[pos]),
+            request_int=int(group.request_int[pos]),
+            available=int(group.available[pos]),
+            allotment=int(group.allotment[pos]),
+            work=int(group.work[pos]),
+            span=float(group.span[pos]),
+            steps=int(group.steps[pos]),
+            quantum_length=length,
+            start_step=start_step,
+        )
+        kernel.request[pos] = slot.policy.next_request(record)
+
+
+def _requests_hold(
+    kernel: MultiBatchKernel,
+    alloc_arr: np.ndarray,
+    req_int: np.ndarray,
+    work: np.ndarray,
+    span: np.ndarray,
+    steps: np.ndarray,
+    quanta: int,
+) -> bool:
+    """Whether every slot's feedback recurrence, fed the predicted repeated
+    record ``quanta`` times, leaves its request bit-identical (see
+    :meth:`~repro.core.feedback.FeedbackPolicy.advance_request_batch`)."""
+    uniform = kernel.uniform_policy
+    if uniform is not None:
+        return (
+            uniform.advance_request_batch(
+                request=kernel.request,
+                request_int=req_int,
+                allotment=alloc_arr,
+                work=work,
+                span=span,
+                steps=steps,
+                quanta=quanta,
+            )
+            is not None
+        )
+    groups: dict[int, list[int]] = {}
+    for pos, slot in enumerate(kernel.slots):
+        groups.setdefault(id(slot.policy), []).append(pos)
+    request = kernel.request
+    for positions in groups.values():
+        policy = kernel.slots[positions[0]].policy
+        sub = np.asarray(positions, dtype=np.int64)
+        nxt = policy.advance_request_batch(
+            request=request[sub],
+            request_int=req_int[sub],
+            allotment=alloc_arr[sub],
+            work=work[sub],
+            span=span[sub],
+            steps=steps[sub],
+            quanta=quanta,
+        )
+        if nxt is None:
+            return False
+    return True
+
+
+def _attempt_superstep(
+    kernel: MultiBatchKernel,
+    log: QuantumLog,
+    allocator: Allocator,
+    group: QuantumGroup,
+    req_int: np.ndarray,
+    avail: np.ndarray,
+    alloc_arr: np.ndarray,
+    processors: int,
+    length: int,
+    start: int,
+    *,
+    next_release: int | None,
+    budget: int,
+) -> int:
+    """Fast-forward up to ``budget`` quanta past the one that just executed
+    at ``start``; returns how many were skipped (0 when any fixed-point
+    check fails).
+
+    The checks, in order: the quantum's feedback left every request at its
+    pre-quantum value (else next quantum's allocation inputs differ); every
+    slot's remaining chunk sustains ``K >= 1`` pure quanta under the same
+    allotment (closed form, also bounding ``K``); no pending release lands
+    inside the window (admissions happen at boundaries ``<= t``, so quanta
+    starting at ``start+L .. start+K*L`` need ``next_release > start+K*L``);
+    the feedback recurrences hold the requests fixed over the predicted
+    records; and the allocator certifies (and state-advances through) ``K``
+    repeats of its grants.  Everything that passes is exact, so the emitted
+    repeat-group and the fast-forwarded arena state are byte-identical to
+    executing the ``K`` quanta one at a time.
+    """
+    if kernel.request.tobytes() != group.request.tobytes():
+        return 0
+    plan = kernel.superstep_plan(alloc_arr, length)
+    if plan is None:
+        return 0
+    limit = int(plan.quanta.min())
+    if next_release is not None:
+        limit = min(limit, (next_release - start - 1) // length)
+    limit = min(limit, budget)
+    if limit < 1:
+        return 0
+    steps_pred = np.full(len(kernel.slots), length, dtype=np.int64)
+    if not _requests_hold(
+        kernel, alloc_arr, req_int, plan.delta, plan.span, steps_pred, limit
+    ):
+        return 0
+    ids_sorted, order = kernel.allocation_order()
+    k = allocator.allocation_fixed_point(
+        ids_sorted, req_int[order], alloc_arr[order], processors, limit
+    )
+    if k < 1:
+        return 0
+    log.append_quantum(
+        start_step=start + length,
+        repeat=k,
+        index0=kernel.next_q,
+        request=group.request,
+        request_int=req_int,
+        available=avail,
+        allotment=alloc_arr,
+        work=plan.delta,
+        span=plan.span,
+        steps=steps_pred,
+    )
+    kernel.apply_superstep(k, plan, alloc_arr, length)
+    return k
 
 
 @dataclass(slots=True)
@@ -113,15 +272,22 @@ def simulate_job_set(
     overhead: ReallocationOverhead = NO_OVERHEAD,
     strict: bool = False,
     batch: BatchChoice = "auto",
+    superstep: SuperstepChoice | None = None,
 ) -> MultiJobResult:
     """Run a job set to completion under a multiprogrammed allocator.
 
     Job ids default to the spec's position in ``specs``; explicit
     ``JobSpec.job_id`` values must be unique.  ``strict=True`` enables the
     engines' per-step invariant checking for every job.  ``batch`` selects
-    the execution backend (see the module docstring); results do not depend
-    on it.
+    the execution backend and ``superstep`` the multi-quantum fast-forwarding
+    on top of it (see the module docstring); results do not depend on either.
+    ``superstep=None`` (the default) resolves to :data:`SUPERSTEP_ENV_VAR`
+    if set, else ``"auto"``.
     """
+    if superstep is None:
+        superstep = cast(
+            SuperstepChoice, os.environ.get(SUPERSTEP_ENV_VAR, "auto")
+        )
     if processors < 1:
         raise ValueError("need at least one processor")
     if quantum_length < 1:
@@ -130,6 +296,10 @@ def simulate_job_set(
         raise ValueError("job set is empty")
     if batch not in ("auto", "off"):
         raise ValueError(f"unknown batch mode {batch!r}; pick 'auto' or 'off'")
+    if superstep not in ("auto", "off"):
+        raise ValueError(
+            f"unknown superstep mode {superstep!r}; pick 'auto' or 'off'"
+        )
 
     pending: list[tuple[int, int, JobSpec]] = []  # (release, id, spec)
     seen_ids: set[int] = set()
@@ -143,6 +313,9 @@ def simulate_job_set(
     released = {jid: rel for rel, jid, _ in pending}
 
     kernel = MultiBatchKernel(strict=strict) if batch == "auto" else None
+    log = QuantumLog(quantum_length) if kernel is not None else None
+    layout_dirty = True
+    do_superstep = superstep == "auto"
     fallback: dict[int, _ActiveJob] = {}
     done: dict[int, JobTrace] = {}
     t = 0
@@ -176,6 +349,7 @@ def simulate_job_set(
                     profile=profile,
                     request=spec.feedback.first_request(),
                 )
+                layout_dirty = True
             else:
                 executor = make_executor(
                     spec.job, spec.discipline, strict=strict, engine=spec.engine
@@ -205,6 +379,7 @@ def simulate_job_set(
         # way; order preserved for fidelity to the serial loop under
         # order-sensitive allocators).
         alloc_arr: np.ndarray | None = None
+        array_grants = False
         if nk:
             assert kernel is not None
             kernel_req_int = kernel.integer_requests()
@@ -218,6 +393,7 @@ def simulate_job_set(
                     )
                     alloc_arr = np.empty(nk, dtype=np.int64)
                     alloc_arr[order] = grants
+                    array_grants = True
         if alloc_arr is None:
             if nk:
                 assert kernel is not None
@@ -247,21 +423,29 @@ def simulate_job_set(
 
         finished_jobs: list[tuple[int, int, JobTrace]] = []  # (seq, id, trace)
 
+        scalar_fb = False
         if nk:
             assert kernel is not None
             assert alloc_arr is not None
+            assert log is not None
             batch_out = kernel.execute_quantum(alloc_arr, L, overhead)
             # Under a partitioning allocator the processors "available" to a
             # job are exactly its (possibly trimmed) share when deprived;
             # when satisfied the machine-wide P upper-bounds availability.
             avail = np.where(alloc_arr < kernel_req_int, alloc_arr, processors)
-            # Columnar record materialization: one vectorized validation pass
-            # over the whole quantum, then trusted per-row construction.  The
-            # kernel issues indices sequentially from 1, so JobTrace.append's
-            # ordering check cannot fire and records are appended directly,
-            # skipping its per-record overhead.
-            recs = quantum_records_from_columns(
-                index=[slot.next_q for slot in kernel.slots],
+            # Columnar record emission: one vectorized validation pass over
+            # the quantum's aligned columns, appended to the run-wide log as
+            # a single group — no per-slot python, no record objects.  The
+            # group snapshots ``index0``/``request`` before the bump and the
+            # in-place feedback writes below; the other columns are fresh
+            # arrays this iteration never touches again.
+            if layout_dirty:
+                log.set_layout(kernel.jids)
+                layout_dirty = False
+            group = log.append_quantum(
+                start_step=t,
+                repeat=1,
+                index0=kernel.next_q,
                 request=kernel.request,
                 request_int=kernel_req_int,
                 available=avail,
@@ -269,12 +453,8 @@ def simulate_job_set(
                 work=batch_out.work,
                 span=batch_out.span,
                 steps=batch_out.steps,
-                quantum_length=L,
-                start_step=t,
             )
-            for slot, record in zip(kernel.slots, recs):
-                slot.trace.records.append(record)
-                slot.next_q += 1
+            kernel.bump_quantum()
             finished_pos = np.flatnonzero(batch_out.finished).tolist()
             # Feedback, vectorized per policy instance (experiment job sets
             # share one policy object across jobs, so the common case is one
@@ -292,7 +472,15 @@ def simulate_job_set(
                     steps=batch_out.steps,
                 )
                 if nxt is None:
-                    _scalar_feedback(kernel, finished_pos, nk)
+                    scalar_fb = True
+                    fin_set = set(finished_pos)
+                    _scalar_feedback(
+                        kernel,
+                        [pos for pos in range(nk) if pos not in fin_set],
+                        group,
+                        L,
+                        t,
+                    )
                 else:
                     kernel.request = nxt
             else:
@@ -315,11 +503,8 @@ def simulate_job_set(
                         steps=batch_out.steps[sub],
                     )
                     if nxt is None:
-                        for pos in positions:
-                            slot = kernel.slots[pos]
-                            kernel.request[pos] = slot.policy.next_request(
-                                slot.trace.records[-1]
-                            )
+                        scalar_fb = True
+                        _scalar_feedback(kernel, positions, group, L, t)
                     else:
                         kernel.request[sub] = nxt
             for pos in finished_pos:
@@ -327,6 +512,7 @@ def simulate_job_set(
                 finished_jobs.append((slot.seq, slot.jid, slot.trace))
             if finished_pos:
                 kernel.remove(finished_pos)
+                layout_dirty = True
 
         for jid, job in fallback.items():
             a = alloc[jid]
@@ -355,9 +541,41 @@ def simulate_job_set(
         for _seq, jid, trace in sorted(finished_jobs):
             fallback.pop(jid, None)
             done[jid] = trace
-        t += L
-        quanta += 1
+        # Superstep: with no event this quantum — nothing finished, no
+        # fallback jobs, grants from the array path, no scalar feedback —
+        # try to fast-forward through the quanta the whole system provably
+        # repeats.  ``skipped`` quanta were emitted and applied wholesale.
+        skipped = 0
+        if (
+            do_superstep
+            and nk
+            and array_grants
+            and not scalar_fb
+            and not fallback
+            and not finished_jobs
+        ):
+            assert kernel is not None
+            assert log is not None
+            assert alloc_arr is not None
+            skipped = _attempt_superstep(
+                kernel,
+                log,
+                allocator,
+                group,
+                kernel_req_int,
+                avail,
+                alloc_arr,
+                processors,
+                L,
+                t,
+                next_release=pending[cursor][0] if cursor < len(pending) else None,
+                budget=max_quanta - quanta - 1,
+            )
+        t += (skipped + 1) * L
+        quanta += skipped + 1
 
+    if log is not None:
+        log.build_traces(done)
     return MultiJobResult(
         traces=done,
         processors=processors,

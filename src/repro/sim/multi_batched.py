@@ -61,6 +61,7 @@ from ..verify.violations import (
     Violation,
 )
 from .jobs import JobSpec
+from .superstep import SuperstepArena, SuperstepPlan, pure_quantum_counts
 
 __all__ = ["MultiBatchKernel", "QuantumBatch", "segment_profile"]
 
@@ -98,7 +99,7 @@ def segment_profile(
 
 @dataclass(slots=True)
 class _Slot:
-    """Python-side metadata of one batched job (the arrays hold the rest)."""
+    """Python-side metadata of one batched job (the arena holds the rest)."""
 
     jid: int
     seq: int
@@ -107,9 +108,6 @@ class _Slot:
     spec: JobSpec
     policy: FeedbackPolicy
     trace: JobTrace
-    seg_w: np.ndarray
-    seg_total: np.ndarray
-    next_q: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -162,7 +160,6 @@ def _strict_check(
 
 
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
-_EMPTY_F64 = np.zeros(0, dtype=np.float64)
 
 _VECTOR_MIN = 12
 """Minimum live-slot count for a vectorized chunk iteration to beat the
@@ -173,26 +170,20 @@ under a microsecond per scalar chunk)."""
 class MultiBatchKernel:
     """Packed execution state of every batchable active job.
 
-    Per-slot state lives in aligned numpy arrays (``request``, current
-    segment, tasks done on it, remaining work, previous allotment); the
-    per-segment ``(width, total)`` tables of all slots are concatenated into
-    two flat arrays indexed through per-slot offsets.  Admission and removal
-    happen only at quantum boundaries and are rare relative to quanta, so
-    the packed tables are rebuilt lazily (``_repack``) while the hot
-    per-quantum path is pure array arithmetic.
+    Per-slot state — ``request``, current segment, tasks done on it,
+    remaining work, previous allotment, next quantum index — and the packed
+    per-segment ``(width, total)`` tables all live in one preallocated
+    :class:`~repro.sim.superstep.SuperstepArena`.  Admission writes arena
+    rows in place and removal compacts in place, so the hot per-quantum path
+    is pure array arithmetic over views of the arena's live prefix; only the
+    sorted-id allocation-order cache is rebuilt (lazily) when membership
+    changes.
     """
 
     __slots__ = (
         "slots",
         "jids",
-        "request",
-        "_cur",
-        "_done",
-        "_rem",
-        "_prev_allot",
-        "_seg_w",
-        "_seg_total",
-        "_seg_off",
+        "_arena",
         "_sorted_jids",
         "_id_order",
         "_dirty",
@@ -205,17 +196,7 @@ class MultiBatchKernel:
         self.jids: list[int] = []
         """Job ids aligned to ``slots`` (kept as a plain list for cheap
         per-quantum allocation-dict construction and gathering)."""
-        self.request = _EMPTY_F64.copy()
-        """Real-valued controller requests ``d(q)``, aligned to ``slots``.
-        The simulation loop reads it to build records and writes the
-        feedback recurrences' results back into it."""
-        self._cur = _EMPTY_I64.copy()
-        self._done = _EMPTY_I64.copy()
-        self._rem = _EMPTY_I64.copy()
-        self._prev_allot = _EMPTY_I64.copy()
-        self._seg_w = _EMPTY_I64.copy()
-        self._seg_total = _EMPTY_I64.copy()
-        self._seg_off = _EMPTY_I64.copy()
+        self._arena = SuperstepArena()
         self._sorted_jids = _EMPTY_I64.copy()
         self._id_order = _EMPTY_I64.copy()
         self._dirty = False
@@ -224,6 +205,72 @@ class MultiBatchKernel:
 
     def __len__(self) -> int:
         return len(self.slots)
+
+    # -- arena views ----------------------------------------------------
+    # Each property exposes the live prefix of one arena column.  Getters
+    # return a view (writes through element/slice assignment mutate the
+    # arena); setters copy values in place, so rebinding statements in the
+    # quantum path (``self._done = np.where(...)``) keep working unchanged.
+
+    @property
+    def request(self) -> np.ndarray:
+        """Real-valued controller requests ``d(q)``, aligned to ``slots``.
+        The simulation loop reads it to build records and writes the
+        feedback recurrences' results back into it (in place)."""
+        return self._arena.request[: self._arena.n]
+
+    @request.setter
+    def request(self, values: np.ndarray) -> None:
+        self._arena.request[: self._arena.n] = values
+
+    @property
+    def next_q(self) -> np.ndarray:
+        """Per-slot index of the *next* quantum record (starts at 1)."""
+        return self._arena.next_q[: self._arena.n]
+
+    @property
+    def _cur(self) -> np.ndarray:
+        return self._arena.cur[: self._arena.n]
+
+    @_cur.setter
+    def _cur(self, values: np.ndarray) -> None:
+        self._arena.cur[: self._arena.n] = values
+
+    @property
+    def _done(self) -> np.ndarray:
+        return self._arena.done[: self._arena.n]
+
+    @_done.setter
+    def _done(self, values: np.ndarray) -> None:
+        self._arena.done[: self._arena.n] = values
+
+    @property
+    def _rem(self) -> np.ndarray:
+        return self._arena.rem[: self._arena.n]
+
+    @_rem.setter
+    def _rem(self, values: np.ndarray) -> None:
+        self._arena.rem[: self._arena.n] = values
+
+    @property
+    def _prev_allot(self) -> np.ndarray:
+        return self._arena.prev_allot[: self._arena.n]
+
+    @_prev_allot.setter
+    def _prev_allot(self, values: np.ndarray) -> None:
+        self._arena.prev_allot[: self._arena.n] = values
+
+    @property
+    def _seg_w(self) -> np.ndarray:
+        return self._arena.seg_w[: self._arena.seg_used]
+
+    @property
+    def _seg_total(self) -> np.ndarray:
+        return self._arena.seg_total[: self._arena.seg_used]
+
+    @property
+    def _seg_off(self) -> np.ndarray:
+        return self._arena.seg_off[: self._arena.n]
 
     @property
     def uniform_policy(self) -> FeedbackPolicy | None:
@@ -252,24 +299,12 @@ class MultiBatchKernel:
         seg_k = np.asarray([k for _, k in profile], dtype=np.int64)
         seg_total = seg_w * seg_k
         self.slots.append(
-            _Slot(
-                jid=jid,
-                seq=seq,
-                spec=spec,
-                policy=spec.feedback,
-                trace=trace,
-                seg_w=seg_w,
-                seg_total=seg_total,
-            )
+            _Slot(jid=jid, seq=seq, spec=spec, policy=spec.feedback, trace=trace)
         )
         self.jids.append(jid)
         pid = id(spec.feedback)
         self._policy_counts[pid] = self._policy_counts.get(pid, 0) + 1
-        self.request = np.append(self.request, float(request))
-        self._cur = np.append(self._cur, 0)
-        self._done = np.append(self._done, 0)
-        self._rem = np.append(self._rem, int(seg_total.sum()))
-        self._prev_allot = np.append(self._prev_allot, -1)
+        self._arena.admit(request=float(request), seg_w=seg_w, seg_total=seg_total)
         self._dirty = True
 
     def remove(self, positions: list[int]) -> None:
@@ -285,30 +320,19 @@ class MultiBatchKernel:
         keep[positions] = False
         self.slots = [s for s, k in zip(self.slots, keep) if k]
         self.jids = [j for j, k in zip(self.jids, keep) if k]
-        self.request = self.request[keep]
-        self._cur = self._cur[keep]
-        self._done = self._done[keep]
-        self._rem = self._rem[keep]
-        self._prev_allot = self._prev_allot[keep]
+        self._arena.remove(keep)
         self._dirty = True
 
     def _repack(self) -> None:
+        """Rebuild the sorted-id allocation-order cache (segment tables no
+        longer repack — the arena maintains them incrementally)."""
         if not self._dirty:
             return
         if self.slots:
-            self._seg_w = np.concatenate([s.seg_w for s in self.slots])
-            self._seg_total = np.concatenate([s.seg_total for s in self.slots])
-            counts = np.asarray([len(s.seg_w) for s in self.slots], dtype=np.int64)
-            self._seg_off = np.concatenate([[0], np.cumsum(counts[:-1])]).astype(
-                np.int64
-            )
             jids = np.asarray(self.jids, dtype=np.int64)
             self._id_order = np.argsort(jids, kind="stable")  # jids are unique
             self._sorted_jids = jids[self._id_order]
         else:
-            self._seg_w = _EMPTY_I64.copy()
-            self._seg_total = _EMPTY_I64.copy()
-            self._seg_off = _EMPTY_I64.copy()
             self._sorted_jids = _EMPTY_I64.copy()
             self._id_order = _EMPTY_I64.copy()
         self._dirty = False
@@ -396,7 +420,7 @@ class MultiBatchKernel:
 
             steps = length - steps_left
             finished = self._rem == 0
-            self._prev_allot = a.copy()
+            self._prev_allot = a
             if self._strict and n:
                 _strict_check(work, span, steps, a)
             return QuantumBatch(work=work, span=span, steps=steps, finished=finished)
@@ -423,7 +447,7 @@ class MultiBatchKernel:
         used = np.where(execute, run - steps_left, 0)
         steps = np.where(execute, costs + used, length)
         finished = self._rem == 0
-        self._prev_allot = a.copy()
+        self._prev_allot = a
         if self._strict and n:
             _strict_check(work[execute], span[execute], used[execute], a[execute])
         return QuantumBatch(work=work, span=span, steps=steps, finished=finished)
@@ -522,3 +546,64 @@ class MultiBatchKernel:
             work[i] = wk
             span[i] = sp
             steps_left[i] = sl
+
+    # ------------------------------------------------------------------
+    # Superstep fast-forward
+    # ------------------------------------------------------------------
+
+    def bump_quantum(self) -> None:
+        """Advance every slot's next-record index by one executed quantum."""
+        arena = self._arena
+        arena.next_q[: arena.n] += 1
+
+    def superstep_plan(self, alloc: np.ndarray, length: int) -> SuperstepPlan | None:
+        """Closed-form count of the identical quanta every slot can
+        fast-forward under the (fixed) allotment ``alloc``, or ``None`` when
+        some slot reaches an event — a chunk boundary, segment transition,
+        or completion — within the very next quantum.
+
+        See :func:`repro.sim.superstep.pure_quantum_counts` for the per-slot
+        regime arithmetic; the plan's ``delta``/``span`` are exactly the
+        ``work``/``span`` each repeated record will carry.
+        """
+        arena = self._arena
+        n = arena.n
+        if not n:
+            return None
+        g = arena.seg_off[:n] + arena.cur[:n]
+        w = arena.seg_w[g]
+        total = arena.seg_total[g]
+        done = arena.done[:n]
+        boundary = total - w
+        quanta, delta = pure_quantum_counts(
+            alloc=alloc,
+            width=w,
+            seg_remaining=total - done,
+            to_boundary=boundary - done,
+            regime1=done < boundary,
+            length=length,
+        )
+        if int(quanta.min()) < 1:
+            return None
+        return SuperstepPlan(quanta=quanta, delta=delta, span=delta / w)
+
+    def apply_superstep(
+        self, k: int, plan: SuperstepPlan, alloc: np.ndarray, length: int
+    ) -> None:
+        """Fast-forward every slot ``k`` quanta (``k <= plan.quanta.min()``).
+
+        Pure quanta never cross a segment boundary, so only the done/remaining
+        counters and the record indices move; the segment cursor and
+        ``prev_allot`` (already equal to ``alloc``) are untouched — exactly
+        the state ``k`` calls of :meth:`execute_quantum` would leave.
+        """
+        arena = self._arena
+        n = arena.n
+        moved = k * plan.delta
+        arena.done[:n] += moved
+        arena.rem[:n] -= moved
+        arena.next_q[:n] += k
+        if self._strict:
+            _strict_check(
+                plan.delta, plan.span, np.full(n, length, dtype=np.int64), alloc
+            )

@@ -23,8 +23,9 @@ Two comment forms silence findings on their line:
 
 Exit-code policy (shared by every entry point): ``0`` when no finding of
 severity ``"error"`` exists, ``1`` otherwise, ``2`` on usage errors.
-Every current rule is an ``"error"``; the ``"warning"`` tier exists so a
-future advisory rule does not have to change the policy.
+Almost every rule is an ``"error"``; the ``"warning"`` tier carries the
+advisory rules (currently ``ABG304``), which are reported but never flip
+the exit code.
 """
 
 from __future__ import annotations
@@ -65,6 +66,7 @@ RULES: dict[str, tuple[str, str]] = {
     "ABG301": ("error", "scalar kernel method without a batched counterpart or fallback marker"),
     "ABG302": ("error", "scalar override inherits an ancestor's batched counterpart (silent drift)"),
     "ABG303": ("error", "signature drift between a kernel-pair method and its base declaration"),
+    "ABG304": ("warning", "inferred scalar<->batched pair (x / x_batch) not registered as a parity contract"),
     "ABG311": ("error", "indirect sort (argsort) without kind=\"stable\" in a kernel module"),
     "ABG312": ("error", "order-sensitive float reduction over a hash-ordered collection"),
     "ABG313": ("error", "array constructor without an explicit dtype in a kernel module"),

@@ -64,6 +64,7 @@ from .cache import SummaryCache, source_digest
 from .callgraph import ModuleIndex, build_call_graph
 from .kernel import (
     DEFAULT_KERNEL_PATTERNS,
+    inferred_pair_findings,
     PARITY_CONTRACTS,
     ParityContract,
     is_kernel_path,
@@ -86,6 +87,9 @@ DEFAULT_ROOT_PATTERNS: tuple[str, ...] = (
     "repro.bench.scenarios::_*",
     "repro.engine.*::*.execute_quantum",
     "repro.sim.multi_batched::*.execute_quantum",
+    "repro.sim.multi_batched::*.superstep_plan",
+    "repro.sim.multi_batched::*.apply_superstep",
+    "repro.sim.superstep::*.build_traces",
     "repro.experiments.*::run_*",
     "repro.runtime.supervisor::_invoke_unit",
 )
@@ -404,6 +408,7 @@ def analyze_paths(
 
     # -- kernel passes (ABG3xx) ----------------------------------------------
     report.findings.extend(parity_findings(index, sources, parity_contracts))
+    report.findings.extend(inferred_pair_findings(index, sources, parity_contracts))
     kernel_files = 0
     for path_str, lines in sources.items():
         if not is_kernel_path(path_str, kernel_patterns):

@@ -21,6 +21,12 @@ the inputs they happen to exercise.  These passes enforce the contract
 - ``ABG303`` — parameter-list or default-value drift between a method
   override and the base declaration: keyword calls and fallback
   invocation break asymmetrically between the scalar and batched sides.
+- ``ABG304`` (*advisory*) — a class defines both ``x`` and ``x_batch``
+  but the pair is not registered in :data:`PARITY_CONTRACTS`: the naming
+  convention says the two are scalar/batched twins, yet none of the
+  parity rules above watch them.  Register a contract (when subclasses
+  are expected to keep the pair in sync) or suppress with a reason
+  (when the suffix is a coincidence or the pair is sealed).
 
 **Numerical-determinism pass** (`numeric_findings`, fresh AST per kernel
 file — never served from the summary cache, so a stale cache can never
@@ -70,6 +76,7 @@ __all__ = [
     "DEFAULT_KERNEL_PATTERNS",
     "is_kernel_path",
     "parity_findings",
+    "inferred_pair_findings",
     "numeric_findings",
 ]
 
@@ -113,10 +120,12 @@ PARITY_CONTRACTS: tuple[ParityContract, ...] = (
 #: Path globs of the array-kernel modules the numeric pass covers.
 DEFAULT_KERNEL_PATTERNS: tuple[str, ...] = (
     "*/sim/multi_batched.py",
+    "*/sim/superstep.py",
     "*/engine/batched.py",
     "*/allocators/*.py",
     "*/dag/structure.py",
     "*/core/types.py",
+    "*/core/columnar.py",
 )
 
 
@@ -254,6 +263,52 @@ def parity_findings(
                     f"— add {contract.batch} or declare "
                     f"{contract.marker} = True",
                 )
+    return out
+
+
+def inferred_pair_findings(
+    index: ModuleIndex,
+    sources: Mapping[str, Sequence[str]],
+    contracts: Sequence[ParityContract] = PARITY_CONTRACTS,
+) -> list[LintFinding]:
+    """ABG304: classes defining an unregistered ``x`` / ``x_batch`` twin.
+
+    The contract registry is the ground truth the parity rules enforce;
+    this advisory pass closes the loop from the other side by *inferring*
+    candidate pairs from the repo's ``*_batch`` naming convention and
+    flagging any that no contract covers — the pattern that let a
+    scalar/batched pair drift would otherwise be invisible until a
+    subclass broke it.
+    """
+    covered = {(c.scalar, c.batch) for c in contracts}
+    out: list[LintFinding] = []
+    for info in index.modules.values():
+        lines = sources.get(info.path, [])
+        for qualname, summary in sorted(info.functions.items()):
+            cls, dot, method = qualname.rpartition(".")
+            if not dot or not method.endswith("_batch"):
+                continue
+            scalar_name = method[: -len("_batch")]
+            if (scalar_name, method) in covered:
+                continue
+            if f"{cls}.{scalar_name}" not in info.functions:
+                continue
+            if is_suppressed(lines, summary.line, "ABG304"):
+                continue
+            out.append(
+                LintFinding(
+                    path=info.path,
+                    line=summary.line,
+                    col=0,
+                    code="ABG304",
+                    message=f"{cls}.{method} pairs with {cls}.{scalar_name} "
+                    "by naming but no ParityContract registers the pair; "
+                    "the ABG301-303 parity rules are not watching it — "
+                    "register a contract or suppress with a reason",
+                    severity=rule_severity("ABG304"),
+                )
+            )
+    out.sort(key=lambda f: (f.path, f.line))
     return out
 
 

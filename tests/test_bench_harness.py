@@ -56,6 +56,9 @@ class TestScenarios:
         assert "batched-kernel" in names
         assert "multi-serial" in names
         assert "multi-batched" in names
+        assert "multi-superstep" in names
+        assert "multi-superstep-off" in names
+        assert "fig6-full" in names
 
     @pytest.mark.slow
     def test_smoke_run_covers_every_scenario(self):
@@ -74,6 +77,17 @@ class TestScenarios:
         bat = report.timing("batched-kernel")
         assert ref is not None and bat is not None
         assert ref.seconds / bat.seconds > 5
+
+    @pytest.mark.slow
+    def test_superstep_at_least_2x_per_quantum(self):
+        """The superstep acceptance claim: ≥2x over the per-quantum batched
+        path on the stable-allocation workload, through the harness."""
+        report = run_bench(scale="smoke", repeats=3, rev="test")
+        off = report.timing("multi-superstep-off")
+        on = report.timing("multi-superstep")
+        assert off is not None and on is not None
+        assert off.units == on.units  # identical work by construction
+        assert off.seconds / on.seconds > 2
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
