@@ -507,6 +507,17 @@ def _cmd_lint(args: argparse.Namespace) -> str:
     from .verify.findings import exit_code, findings_payload, render_findings
     from .verify.lint import lint_paths
 
+    if args.explain is not None:
+        from .verify.catalogue import explain
+
+        text = explain(args.explain)
+        if text is None:
+            raise SystemExit(
+                f"error: unknown rule {args.explain!r}; valid codes are "
+                "listed in docs/STATIC_ANALYSIS.md"
+            )
+        return text
+
     paths = args.paths or ["src/repro"]
     try:
         findings = lint_paths(paths)
@@ -776,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --deep: fail (ABG333) on pool-dispatch payloads the "
         "analysis cannot resolve to a function, instead of trusting the "
         "declared root patterns to cover them",
+    )
+    p.add_argument(
+        "--explain",
+        metavar="ABGNNN",
+        default=None,
+        help="print the long-form catalogue entry for one rule "
+        "(description, hazard, example, suppression guidance) and exit "
+        "without analyzing anything",
     )
     p.add_argument(
         "--format",

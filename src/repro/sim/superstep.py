@@ -272,7 +272,10 @@ class QuantumLog:
     def set_layout(self, jids: Sequence[int]) -> None:
         """Register the current slot->job-id layout (call after every
         admission/removal; cheap relative to how rarely membership changes)."""
-        self._layouts.append(np.asarray(jids, dtype=np.int64))
+        # np.array, not np.asarray: the caller hands in its *live* slot
+        # layout (the kernel keeps appending/compacting it), so the stored
+        # epoch must own its memory (ABG341)
+        self._layouts.append(np.array(jids, dtype=np.int64))
         self._epoch += 1
 
     def append_quantum(

@@ -75,6 +75,10 @@ RULES: dict[str, tuple[str, str]] = {
     "ABG331": ("error", "attribute-level mutation of shared instance state on a worker path"),
     "ABG332": ("error", "parameter mutated before a possible raise on a worker path (retry replay hazard)"),
     "ABG333": ("error", "pool-dispatch callee unresolvable in strict-roots mode"),
+    "ABG341": ("error", "view of a mutated arena buffer escapes through a call boundary"),
+    "ABG342": ("error", "out=/in-place target aliases an input across a call boundary"),
+    "ABG343": ("error", "stored view of a buffer the owning class mutates in place (write-after-borrow)"),
+    "ABG344": ("error", "stored view of a reallocation-managed buffer (stale after doubling/resize)"),
 }
 
 

@@ -72,6 +72,7 @@ from .kernel import (
     parity_findings,
 )
 from .model import FunctionSummary, ModuleInfo
+from .provenance import provenance_findings
 from .summarize import summarize_module
 
 __all__ = ["FlowReport", "analyze_paths", "DEFAULT_ROOT_PATTERNS"]
@@ -409,6 +410,10 @@ def analyze_paths(
     # -- kernel passes (ABG3xx) ----------------------------------------------
     report.findings.extend(parity_findings(index, sources, parity_contracts))
     report.findings.extend(inferred_pair_findings(index, sources, parity_contracts))
+    # buffer-provenance rules (ABG34x) run tree-wide like the parity pass:
+    # aliasing hazards corrupt recorded traces wherever they occur, not
+    # only on worker-dispatched paths
+    report.findings.extend(provenance_findings(index, sources))
     kernel_files = 0
     for path_str, lines in sources.items():
         if not is_kernel_path(path_str, kernel_patterns):

@@ -39,7 +39,7 @@ __all__ = [
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_PATH = Path(".abg_cache") / "flow-summaries.json"
 
-_SCHEMA = 4  # 4: flow v2 summaries (attr_writes/raises/defaults, ABG3xx)
+_SCHEMA = 5  # 5: flow v3 buffer-provenance summaries (points-to facts, ABG34x)
 
 
 def analyzer_version() -> str:

@@ -1,0 +1,467 @@
+"""Interprocedural buffer-provenance rules (flow v3): ABG341–ABG344.
+
+The summarizer (:mod:`repro.verify.flow.summarize`) records file-local
+points-to facts per function — in-place writes (:class:`BufferWrite`),
+reallocation points (:class:`BufferRebind`), reference escapes
+(:class:`BufferEscape`), borrow-outs (:class:`BufferReturn`), ``out=``
+aliasing (:class:`OutCall`), and buffer-rooted call arguments
+(:class:`CallArgBuffers`).  This pass joins those facts across the module
+index:
+
+1. **Class buffer facts** — for every class, which array attributes are
+   *mutation-managed* (some method writes them in place) and which are
+   *reallocation-managed* (some method rebinds them to a fresh array, or a
+   dynamic ``setattr``/``.resize`` makes every array attribute suspect —
+   the doubling-arena growth pattern).  Write targets recorded against
+   nested chains (``self._arena.rem``) and property aliases (``self._rem``
+   → the getter's ``self._arena.rem`` view) are resolved onto the class
+   that owns the buffer.
+
+2. **Root resolution** — a provenance root from one function's summary
+   (``"self._arena.request"``, ``"typed:MultiBatchKernel.next_q"``) is
+   resolved to the owning ``(class, attribute)`` by chasing constructor
+   assignments (``attr_ctors``) and property borrow facts, combining
+   view/copy kinds along the way.
+
+3. **Rules** (tree-wide, not restricted to the worker-reachable set):
+
+   - ``ABG341`` — a caller passes an alias of a *mutation-managed* buffer
+     into a callee parameter that escapes (is stored beyond the call
+     frame) without an intervening copy: the stored alias observes every
+     later in-place write.
+   - ``ABG342`` — ``out=`` target aliases an input: across a call
+     boundary (caller passes the same resolved buffer for a parameter
+     used as ``out=`` and a parameter used as input), or locally with
+     distinct expressions over the same root (the identical-expression
+     case stays with the file-local ABG314).
+   - ``ABG343`` — write-after-borrow inside a class: a method stores an
+     alias of a buffer its own class mutates in place.
+   - ``ABG344`` — a stored alias of a *reallocation-managed* buffer: the
+     store outlives a potential doubling/``resize``, after which the view
+     observes the dead buffer.  Takes precedence over ABG341/343 when a
+     buffer is both realloc- and mutation-managed.
+
+Assignments through a property **setter** (``self.request = values``
+where ``request.setter`` copies element-wise) are not escapes or
+reallocations; the setter's own summary carries its true effects, so
+facts shadowed by a non-aliasing setter are dropped.  Parameter-rooted
+arguments at call sites are never flagged (no transitive propagation —
+the conservative cut that keeps the pass one fixpoint deep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..findings import LintFinding, is_suppressed, rule_severity
+from .callgraph import ModuleIndex
+from .model import FunctionSummary, ModuleInfo, function_id
+from .summarize import expand_name
+
+__all__ = [
+    "ClassBufferFacts",
+    "class_buffer_facts",
+    "resolve_buffer_root",
+    "provenance_findings",
+]
+
+#: Maximum attribute-chain / property hops while resolving a root.
+_MAX_CHAIN_DEPTH = 4
+
+
+def _combine(a: str, b: str) -> str:
+    """Kind algebra: any copy kills aliasing; any view demotes base."""
+    if "copy" in (a, b):
+        return "copy"
+    return "view" if "view" in (a, b) else "base"
+
+
+@dataclass(frozen=True, slots=True)
+class ClassBufferFacts:
+    """What one class does to its own (array) attributes."""
+
+    array_attrs: frozenset[str] = frozenset()
+    #: attributes some method writes in place (``"*"`` = dynamic target)
+    mutated: frozenset[str] = frozenset()
+    #: attributes some method rebinds to a fresh array (``"*"`` = dynamic
+    #: ``setattr`` — the doubling-arena growth loop)
+    rebound: frozenset[str] = frozenset()
+    #: attributes with a property setter (assignment is a copy, not a bind)
+    setters: frozenset[str] = frozenset()
+
+    def is_mutated(self, attr: str) -> bool:
+        if attr == "*":
+            return bool(self.mutated)
+        return attr in self.mutated or ("*" in self.mutated and attr in self.array_attrs)
+
+    def is_realloc(self, attr: str) -> bool:
+        if attr == "*":
+            return bool(self.rebound)
+        return attr in self.rebound or ("*" in self.rebound and attr in self.array_attrs)
+
+
+def _class_ref(index: ModuleIndex, info: ModuleInfo, ref: str) -> str | None:
+    """Resolve a class reference as written in ``info``'s module."""
+    if ref in info.classes:
+        return function_id(info.module, ref)
+    return index.resolve_class(expand_name(ref, info))
+
+
+def _ctx_class(info: ModuleInfo, qualname: str) -> str | None:
+    """The ``module::Class`` id a method's ``self`` refers to."""
+    if "." not in qualname:
+        return None
+    return function_id(info.module, qualname.split(".")[0])
+
+
+def _setter_is_aliasing(setter: FunctionSummary | None) -> bool:
+    """Whether a property setter lets its value parameter escape."""
+    if setter is None:
+        return False
+    return any(
+        e.root.startswith("param:") and e.kind != "copy"
+        for e in setter.buffer_escapes
+    )
+
+
+def _setter_shadowed(info: ModuleInfo, qualname: str, attr_path: str) -> bool:
+    """Whether ``self.<attr_path>`` inside ``qualname`` hits a property
+    setter that copies in place (so no bind/escape actually happens)."""
+    if "." in attr_path or "." not in qualname:
+        return False
+    cls = qualname.split(".")[0]
+    setter = info.functions.get(f"{cls}.{attr_path}.setter")
+    if setter is None:
+        return False
+    return not _setter_is_aliasing(setter)
+
+
+def _resolve_chain(
+    index: ModuleIndex, cls_id: str, path: str, kind: str, depth: int
+) -> tuple[str, str, str] | None:
+    """Resolve an attribute path in the context of ``cls_id`` to the
+    owning ``(class id, attribute, kind)``."""
+    if depth > _MAX_CHAIN_DEPTH or not path:
+        return None
+    module, _, cls = cls_id.partition("::")
+    info = index.modules.get(module)
+    if info is None:
+        return None
+    head, _, rest = path.partition(".")
+    getter = info.functions.get(f"{cls}.{head}")
+    if getter is not None and getter.is_property:
+        # property access: follow the getter's borrow facts
+        for ret in getter.buffer_returns:
+            if ret.kind == "copy" or not ret.root.startswith("self."):
+                continue
+            sub_path = ret.root[len("self."):]
+            if rest:
+                sub_path = f"{sub_path}.{rest}"
+            resolved = _resolve_chain(
+                index, cls_id, sub_path, _combine(kind, ret.kind), depth + 1
+            )
+            if resolved is not None:
+                return resolved
+        return None
+    if not rest:
+        return (cls_id, head, kind)
+    ctor = info.attr_ctors.get(cls, {}).get(head)
+    if ctor is None:
+        return None
+    target = _class_ref(index, info, ctor)
+    if target is None:
+        return None
+    return _resolve_chain(index, target, rest, kind, depth + 1)
+
+
+def resolve_buffer_root(
+    index: ModuleIndex,
+    info: ModuleInfo,
+    cls_ctx: str | None,
+    root: str,
+    kind: str = "base",
+) -> tuple[str, str, str] | None:
+    """Resolve a provenance root to ``(class id, attribute, kind)``.
+
+    ``param:``/``global:`` roots resolve to ``None`` — the former are the
+    callee's business (no transitive propagation), the latter are covered
+    by the file-local sentinel rule ABG314.
+    """
+    if root.startswith("self."):
+        if cls_ctx is None:
+            return None
+        return _resolve_chain(index, cls_ctx, root[len("self."):], kind, 0)
+    if root.startswith("typed:"):
+        path = root[len("typed:"):]
+        parts = path.split(".")
+        # the class reference may itself be dotted (mod.Cls.attr): take the
+        # longest prefix that resolves to an analyzed class
+        for cut in range(len(parts) - 1, 0, -1):
+            cls_id = _class_ref(index, info, ".".join(parts[:cut]))
+            if cls_id is not None:
+                return _resolve_chain(
+                    index, cls_id, ".".join(parts[cut:]), kind, 0
+                )
+        return None
+    return None
+
+
+def class_buffer_facts(index: ModuleIndex) -> dict[str, ClassBufferFacts]:
+    """Aggregate per-class buffer facts over the whole module index."""
+    arrays: dict[str, set[str]] = {}
+    mutated: dict[str, set[str]] = {}
+    rebound: dict[str, set[str]] = {}
+    setters: dict[str, set[str]] = {}
+
+    for module, info in index.modules.items():
+        for cls, attrs in info.array_attrs.items():
+            arrays.setdefault(function_id(module, cls), set()).update(attrs)
+        for qualname in info.functions:
+            parts = qualname.split(".")
+            if len(parts) == 3 and parts[2] == "setter":
+                setters.setdefault(function_id(module, parts[0]), set()).add(parts[1])
+
+    for module, info in index.modules.items():
+        for qualname, summary in info.functions.items():
+            cls_ctx = _ctx_class(info, qualname)
+            for write in summary.buffer_writes:
+                resolved = resolve_buffer_root(index, info, cls_ctx, write.target)
+                if resolved is not None:
+                    mutated.setdefault(resolved[0], set()).add(resolved[1])
+            for rebind in summary.buffer_rebinds:
+                if cls_ctx is None:
+                    continue
+                # assignment through a copying property setter is a write,
+                # not a reallocation — the setter's own summary has the write
+                if rebind.attr != "*" and rebind.attr in setters.get(cls_ctx, ()):
+                    setter = info.functions.get(
+                        f"{qualname.split('.')[0]}.{rebind.attr}.setter"
+                    )
+                    if not _setter_is_aliasing(setter):
+                        continue
+                rebound.setdefault(cls_ctx, set()).add(rebind.attr)
+
+    out: dict[str, ClassBufferFacts] = {}
+    for cls_id in sorted({*arrays, *mutated, *rebound, *setters}):
+        out[cls_id] = ClassBufferFacts(
+            array_attrs=frozenset(arrays.get(cls_id, ())),
+            mutated=frozenset(mutated.get(cls_id, ())),
+            rebound=frozenset(rebound.get(cls_id, ())),
+            setters=frozenset(setters.get(cls_id, ())),
+        )
+    return out
+
+
+def _display_buffer(cls_id: str, attr: str) -> str:
+    _, _, cls = cls_id.partition("::")
+    return f"{cls}.{attr}"
+
+
+def provenance_findings(
+    index: ModuleIndex, sources: Mapping[str, Sequence[str]]
+) -> list[LintFinding]:
+    """ABG341–ABG344 findings over the whole module index."""
+    facts = class_buffer_facts(index)
+    functions = index.functions()
+    findings: list[LintFinding] = []
+
+    def emit(info: ModuleInfo, line: int, code: str, message: str) -> None:
+        lines = sources.get(info.path, [])
+        if is_suppressed(lines, line, code):
+            return
+        findings.append(
+            LintFinding(
+                path=info.path,
+                line=line,
+                col=0,
+                code=code,
+                message=message,
+                severity=rule_severity(code),
+            )
+        )
+
+    def managed(resolved: tuple[str, str, str]) -> tuple[bool, bool]:
+        cls_id, attr, _ = resolved
+        f = facts.get(cls_id)
+        if f is None:
+            return (False, False)
+        return (f.is_realloc(attr), f.is_mutated(attr))
+
+    for module, info in index.modules.items():
+        for qualname, summary in info.functions.items():
+            cls_ctx = _ctx_class(info, qualname)
+
+            # -- ABG343 / ABG344: aliases stored by this function itself --
+            for esc in summary.buffer_escapes:
+                if esc.kind == "copy" or esc.root.startswith(("param:", "global:")):
+                    continue
+                if esc.via.startswith("self.") and _setter_shadowed(
+                    info, qualname, esc.via[len("self."):]
+                ):
+                    continue
+                resolved = resolve_buffer_root(
+                    index, info, cls_ctx, esc.root, esc.kind
+                )
+                if resolved is None or resolved[2] == "copy":
+                    continue
+                realloc, mut = managed(resolved)
+                buffer = _display_buffer(resolved[0], resolved[1])
+                if realloc:
+                    emit(
+                        info,
+                        esc.line,
+                        "ABG344",
+                        f"stores an alias of reallocation-managed buffer "
+                        f"{buffer} (via {esc.via}); after the next doubling/"
+                        "resize the stored view observes the dead buffer — "
+                        "store a copy, or re-derive the view after growth",
+                    )
+                elif mut:
+                    emit(
+                        info,
+                        esc.line,
+                        "ABG343",
+                        f"stores an alias of {buffer} (via {esc.via}) while "
+                        "the owning class keeps mutating it in place "
+                        "(write-after-borrow); the stored value changes "
+                        "retroactively — store a copy at the boundary",
+                    )
+
+            # -- ABG342 (local): out= aliases an input root ----------------
+            for oc in summary.out_calls:
+                inputs = [r for r in oc.inputs.split(",") if r]
+                if oc.out_root in inputs:
+                    emit(
+                        info,
+                        oc.line,
+                        "ABG342",
+                        f"out= target aliases input buffer {oc.out_root!r} "
+                        "through a different expression; the ufunc reads "
+                        "elements the same call already overwrote — use a "
+                        "fresh output buffer",
+                    )
+
+            # -- call-boundary rules over buffer-rooted arguments ----------
+            for cb in summary.call_buffers:
+                bindings: list[tuple[str, str, str]] = []
+                callee_ids = index.resolve_call(info, cb.callee, qualname)
+                for callee_id in callee_ids:
+                    callee = functions.get(callee_id)
+                    if callee is None:
+                        continue
+                    params = list(callee.params)
+                    if params and params[0] in ("self", "cls") and (
+                        "." in callee_id.rpartition("::")[2]
+                    ):
+                        params = params[1:]
+                    bindings = []
+                    for pos, enc in enumerate(cb.args):
+                        if enc and pos < len(params):
+                            root, _, kind = enc.rpartition("@")
+                            bindings.append((params[pos], root, kind))
+                    for enc in cb.kwargs:
+                        name, _, root_kind = enc.partition("=")
+                        root, _, kind = root_kind.rpartition("@")
+                        if name in callee.params:
+                            bindings.append((name, root, kind))
+                    if not bindings:
+                        continue
+                    callee_info = index.info_for(callee_id)
+                    callee_qual = callee_id.rpartition("::")[2]
+
+                    # ABG341/ABG344: managed alias into an escaping param
+                    for param, root, kind in bindings:
+                        if root.startswith(("param:", "global:")) or kind == "copy":
+                            continue
+                        resolved = resolve_buffer_root(
+                            index, info, cls_ctx, root, kind
+                        )
+                        if resolved is None or resolved[2] == "copy":
+                            continue
+                        realloc, mut = managed(resolved)
+                        if not (realloc or mut):
+                            continue
+                        escapes = any(
+                            e.root == f"param:{param}"
+                            and e.kind != "copy"
+                            and not (
+                                e.via.startswith("self.")
+                                and _setter_shadowed(
+                                    callee_info,
+                                    callee_qual,
+                                    e.via[len("self."):],
+                                )
+                            )
+                            for e in callee.buffer_escapes
+                        )
+                        if not escapes:
+                            continue
+                        buffer = _display_buffer(resolved[0], resolved[1])
+                        callee_name = callee_qual
+                        if realloc:
+                            emit(
+                                info,
+                                cb.line,
+                                "ABG344",
+                                f"passes an alias of reallocation-managed "
+                                f"buffer {buffer} to {callee_name}(), which "
+                                f"stores parameter {param!r}; the stored "
+                                "view goes stale at the next doubling/resize "
+                                "— pass a copy across this boundary",
+                            )
+                        else:
+                            emit(
+                                info,
+                                cb.line,
+                                "ABG341",
+                                f"passes an alias of mutated arena buffer "
+                                f"{buffer} to {callee_name}(), which stores "
+                                f"parameter {param!r}; later in-place writes "
+                                "rewrite the stored value — pass a copy "
+                                "across this boundary",
+                            )
+
+                    # ABG342 (call boundary): same buffer bound to an out=
+                    # param and an input param of the callee
+                    for oc in callee.out_calls:
+                        if not oc.out_root.startswith("param:"):
+                            continue
+                        out_param = oc.out_root[len("param:"):]
+                        in_params = [
+                            r[len("param:"):]
+                            for r in oc.inputs.split(",")
+                            if r.startswith("param:")
+                        ]
+                        out_binding = next(
+                            (b for b in bindings if b[0] == out_param), None
+                        )
+                        if out_binding is None:
+                            continue
+                        for b in bindings:
+                            if b[0] == out_param or b[0] not in in_params:
+                                continue
+                            same_raw = b[1] == out_binding[1]
+                            r_out = resolve_buffer_root(
+                                index, info, cls_ctx, out_binding[1]
+                            )
+                            r_in = resolve_buffer_root(index, info, cls_ctx, b[1])
+                            same_resolved = (
+                                r_out is not None
+                                and r_in is not None
+                                and r_out[:2] == r_in[:2]
+                            )
+                            if same_raw or same_resolved:
+                                emit(
+                                    info,
+                                    cb.line,
+                                    "ABG342",
+                                    f"{callee_qual}() writes parameter "
+                                    f"{out_param!r} via out= while reading "
+                                    f"parameter {b[0]!r}, and this call binds "
+                                    "both to the same underlying buffer "
+                                    f"({out_binding[1]}); the in-place write "
+                                    "clobbers the input mid-call — pass "
+                                    "disjoint buffers",
+                                )
+    return findings
