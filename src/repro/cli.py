@@ -18,6 +18,12 @@ Usage::
                     ablation-allocator
     python -m repro audit [--lint src/repro]
     python -m repro lint [--deep] [--format json] [paths...]
+    python -m repro record-traces [--out fixtures/goldens] [--check]
+                                  [--from-experiments SCALE] [--sets N]
+    python -m repro verify-traces [--fixtures fixtures/goldens] [--workers N]
+                                  [--retries K] [--task-timeout S]
+                                  [--faults SPEC] [--format json]
+                                  [--shrink-out DIR]
     python -m repro --audit <any command>
 
 Every command prints the rows/series the corresponding paper figure plots.
@@ -29,7 +35,12 @@ interprocedural purity/parallel-safety analysis (``ABG2xx``,
 ``repro.verify.flow``) plus the kernel-parity and numerical-determinism
 passes (``ABG3xx``, ``repro.verify.flow.kernel``) and emits one unified
 report.  ``lint --deep --strict-roots`` also fails on pool-dispatch
-payloads the analysis cannot resolve.
+payloads the analysis cannot resolve.  ``record-traces`` /
+``verify-traces`` drive the golden-trace regression harness
+(``repro.goldens``, rules ``ABG401``-``ABG404``): recording known-good
+fixtures, replaying them on every execution path with a first-divergence
+diff, checking fixture freshness (``--check``), and shrinking failures to
+minimal reproductions (``--shrink-out``).
 """
 
 from __future__ import annotations
@@ -556,6 +567,89 @@ def _cmd_lint(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_record_traces(args: argparse.Namespace) -> str:
+    from .goldens import check_freshness, record_fixtures
+    from .verify.findings import exit_code, render_findings
+
+    out = Path(args.out)
+    if args.check:
+        findings = check_freshness(out)
+        text = render_findings(findings)
+        status = exit_code(findings)
+        if status:
+            print(text)
+            raise SystemExit(status)
+        return text
+    if args.from_experiments is not None:
+        from .experiments.runner import record_from_experiments
+
+        written = record_from_experiments(
+            out, scale=args.from_experiments, sets=args.sets
+        )
+    else:
+        written = record_fixtures(out)
+    lines = [f"recorded {len(written)} golden fixture(s) under {out}:"]
+    lines.extend(f"  {path}" for path in written)
+    return "\n".join(lines)
+
+
+def _cmd_verify_traces(args: argparse.Namespace) -> str:
+    import json
+
+    from .goldens import (
+        ScenarioSpec,
+        fixture_paths,
+        regression_bundle,
+        shrink_scenario,
+        verify_traces,
+    )
+
+    fixtures = fixture_paths(args.fixtures)
+    if not fixtures:
+        raise SystemExit(f"error: no golden fixtures found under {args.fixtures!r}")
+    report = verify_traces(
+        fixtures,
+        workers=args.workers,
+        retries=args.retries if args.retries is not None else 2,
+        task_timeout=args.task_timeout,
+        faults=args.faults,
+    )
+    if args.format == "json":
+        text = json.dumps(report.payload(), indent=1)
+    else:
+        text = report.render()
+    if report.passed:
+        return text
+    if args.shrink_out is not None:
+        from .io.traces import load_golden_bundle, save_golden_bundle
+
+        shrink_dir = Path(args.shrink_out)
+        shrink_dir.mkdir(parents=True, exist_ok=True)
+        shrunk_lines: list[str] = []
+        failing = sorted(
+            {o["fixture"] for o in report.outcomes if o["status"] == "fail"}
+        )
+        for fixture in failing:
+            spec = ScenarioSpec.from_dict(load_golden_bundle(fixture).scenario)
+            result = shrink_scenario(spec)
+            if result is None:
+                shrunk_lines.append(
+                    f"  {spec.scenario_id}: not shrinkable (all execution "
+                    "paths agree; behaviour changed consistently — "
+                    "re-record if intended)"
+                )
+                continue
+            bundle = regression_bundle(result, shrunk_from=fixture)
+            path = save_golden_bundle(
+                shrink_dir / f"{result.spec.scenario_id}-min.json", bundle
+            )
+            shrunk_lines.append(f"  {path}: {result.describe()}")
+        if shrunk_lines:
+            text += "\n\nshrunk reproductions:\n" + "\n".join(shrunk_lines)
+    print(text)
+    raise SystemExit(1)
+
+
 def _add_resilience_arguments(p: argparse.ArgumentParser) -> None:
     """The shared ``--retries``/``--task-timeout`` knobs of supervised fan-out."""
     p.add_argument(
@@ -814,6 +908,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore and do not write the summary cache",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "record-traces",
+        help="record golden trace fixtures (or --check that the committed "
+        "fixtures are fresh against the current tree)",
+    )
+    p.add_argument(
+        "--out",
+        default="fixtures/goldens",
+        metavar="DIR",
+        help="fixture directory (default: fixtures/goldens)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="do not write anything; fail (ABG404) if re-recording any "
+        "committed fixture from the current tree would change it",
+    )
+    p.add_argument(
+        "--from-experiments",
+        choices=("smoke", "reduced", "full"),
+        default=None,
+        metavar="SCALE",
+        help="instead of the default registry, materialize and record the "
+        "first --sets job sets of the fig6 sweep at this scale",
+    )
+    p.add_argument(
+        "--sets",
+        type=_positive_int,
+        default=2,
+        help="job sets to record with --from-experiments (default: 2)",
+    )
+    p.set_defaults(func=_cmd_record_traces)
+
+    p = sub.add_parser(
+        "verify-traces",
+        help="replay every committed golden fixture on all execution paths "
+        "(serial/batched/superstep) and fail with the first diverging "
+        "quantum and a field-level diff",
+    )
+    p.add_argument(
+        "--fixtures",
+        default="fixtures/goldens",
+        metavar="DIR",
+        help="fixture directory to replay (default: fixtures/goldens)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="parallel worker processes (0 = all cores); the report is "
+        "byte-identical at any worker count",
+    )
+    _add_resilience_arguments(p)
+    p.add_argument(
+        "--faults",
+        type=_fault_plan,
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault schedule into the replay pool "
+        "(chaos testing; the verdict stays byte-identical because every "
+        "replay unit is pure)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--shrink-out",
+        default=None,
+        metavar="DIR",
+        help="on failure, delta-debug each failing fixture's job set to a "
+        "minimal reproduction and write <id>-min.json fixtures here",
+    )
+    p.set_defaults(func=_cmd_verify_traces)
 
     return parser
 

@@ -52,6 +52,7 @@ __all__ = [
     "ExperimentOutcome",
     "RunInterrupted",
     "RunnerResult",
+    "record_from_experiments",
     "resume_status",
     "run_everything",
     "SCALES",
@@ -278,6 +279,44 @@ def _markdown_table(name: str, records: list[dict[str, Any]]) -> str:
         if series_fields:
             text += "\n"
     return text
+
+
+def record_from_experiments(
+    out_dir: str | Path, *, scale: str = "smoke", sets: int = 2
+) -> list[Path]:
+    """Record golden fixtures straight from the fig6 sweep configuration.
+
+    Materializes the first ``sets`` job sets of the Figure 6 experiment at
+    ``scale`` — same seed, same ``[seed, index]`` child-stream recipe, same
+    machine and workload parameters as ``python -m repro all`` — and records
+    each as a golden bundle under ``out_dir``.  This is the bridge from "an
+    experiment produced a number I trust" to "that exact run is now a
+    regression fixture" (``python -m repro record-traces
+    --from-experiments``); the committed default registry stays separate and
+    smaller (:func:`repro.goldens.record.default_scenarios`).
+    """
+    from ..goldens.record import record_fixtures, scenario_from_fig6
+    from .common import default_rng_seed
+
+    if sets < 1:
+        raise ValueError("need at least one job set")
+    fig6_kwargs = next(
+        kwargs for name, _driver, kwargs in _experiments(scale) if name == "fig6"
+    )
+    count = min(sets, int(fig6_kwargs.get("num_sets", sets)))
+    scenarios = [
+        scenario_from_fig6(
+            f"fig6-{scale}-set{i}",
+            seed=default_rng_seed,
+            index=i,
+            processors=128,
+            quantum_length=1000,
+            load_range=(0.2, 6.0),
+            factor_range=(2, 100),
+        )
+        for i in range(count)
+    ]
+    return record_fixtures(out_dir, scenarios)
 
 
 def resume_status(out_dir: str | Path, scale: str = "reduced") -> tuple[int, int]:

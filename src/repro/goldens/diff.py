@@ -1,0 +1,207 @@
+"""Divergence-point diffing of quantum traces.
+
+Given the recorded (golden) traces and a replay's traces,
+:func:`first_divergence` finds the *first diverging quantum* — ordered by
+the machine-wide time at which it started, then by job id — and reports a
+structured field-level diff: job id, quantum index, field name, expected
+vs got.  Floats are compared by their IEEE-754 bit patterns (``-0.0`` and
+``0.0`` are different answers; so are two NaNs with different payloads),
+matching the byte-identity contract the execution paths promise.
+
+Divergence kinds:
+
+- ``"field"`` — same shape, different values at a quantum (the common
+  regression signature);
+- ``"quantum-count"`` — a job ran a different number of quanta (one trace
+  is a prefix of the other);
+- ``"job-set"`` — the replay produced traces for a different set of jobs;
+- ``"metadata"`` — per-trace metadata (quantum length, release time)
+  disagrees before any record is compared.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.types import JobTrace, QuantumRecord
+from ..io.traces import _RECORD_FIELDS as RECORD_FIELDS
+
+__all__ = ["RECORD_FIELDS", "FieldDiff", "TraceDivergence", "first_divergence"]
+
+
+def _values_equal(a: float | int, b: float | int) -> bool:
+    """Bit-exact comparison: ints exactly, floats by their byte patterns."""
+    if isinstance(a, float) or isinstance(b, float):
+        return struct.pack("<d", float(a)) == struct.pack("<d", float(b))
+    return a == b
+
+
+@dataclass(frozen=True, slots=True)
+class FieldDiff:
+    """One record field that disagrees at the diverging quantum."""
+
+    field: str
+    expected: float | int
+    got: float | int
+
+    def __str__(self) -> str:
+        return f"{self.field} expected {self.expected!r} got {self.got!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDivergence:
+    """The first point where a replay left the golden trajectory.
+
+    ``quantum`` is the per-job quantum index of the diverging record (its
+    ``index`` field) and ``position`` its 0-based offset in the job's
+    record list; ``start_step`` is the machine-wide step the quantum
+    started at — the global ordering key.  ``fields`` lists every field
+    that differs at that (job, quantum), so one report shows the whole
+    local signature of the regression, not just the first column.
+    """
+
+    kind: str
+    job_id: int | None = None
+    quantum: int | None = None
+    position: int | None = None
+    start_step: int | None = None
+    fields: tuple[FieldDiff, ...] = ()
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "job-set":
+            return f"job-set mismatch: {self.detail}"
+        if self.kind == "metadata":
+            return f"trace metadata mismatch for job {self.job_id}: {self.detail}"
+        where = (
+            f"quantum {self.quantum} (start_step {self.start_step}) "
+            f"job {self.job_id}"
+        )
+        if self.kind == "quantum-count":
+            return f"first divergence at {where}: {self.detail}"
+        return f"first divergence at {where}: " + "; ".join(
+            str(f) for f in self.fields
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "quantum": self.quantum,
+            "position": self.position,
+            "start_step": self.start_step,
+            "fields": [
+                {"field": f.field, "expected": f.expected, "got": f.got}
+                for f in self.fields
+            ],
+            "detail": self.detail,
+            "summary": self.describe(),
+        }
+
+
+def _record_diffs(expected: QuantumRecord, got: QuantumRecord) -> tuple[FieldDiff, ...]:
+    return tuple(
+        FieldDiff(field=name, expected=getattr(expected, name), got=getattr(got, name))
+        for name in RECORD_FIELDS
+        if not _values_equal(getattr(expected, name), getattr(got, name))
+    )
+
+
+def _job_divergence(
+    job_id: int,
+    expected: JobTrace,
+    got: JobTrace,
+    horizon: int | None,
+) -> TraceDivergence | None:
+    """The earliest divergence within one job's pair of traces, if any."""
+    if expected.quantum_length != got.quantum_length:
+        return TraceDivergence(
+            kind="metadata",
+            job_id=job_id,
+            detail=(
+                f"quantum_length expected {expected.quantum_length} "
+                f"got {got.quantum_length}"
+            ),
+        )
+    if expected.release_time != got.release_time:
+        return TraceDivergence(
+            kind="metadata",
+            job_id=job_id,
+            detail=(
+                f"release_time expected {expected.release_time} "
+                f"got {got.release_time}"
+            ),
+        )
+    exp_records = expected.records
+    got_records = got.records
+    shared = min(len(exp_records), len(got_records))
+    if horizon is not None:
+        shared = min(shared, horizon)
+    for pos in range(shared):
+        diffs = _record_diffs(exp_records[pos], got_records[pos])
+        if diffs:
+            rec = exp_records[pos]
+            return TraceDivergence(
+                kind="field",
+                job_id=job_id,
+                quantum=rec.index,
+                position=pos,
+                start_step=rec.start_step,
+                fields=diffs,
+            )
+    if len(exp_records) != len(got_records) and (
+        horizon is None or shared < horizon
+    ):
+        longer = exp_records if len(exp_records) > len(got_records) else got_records
+        rec = longer[shared]
+        return TraceDivergence(
+            kind="quantum-count",
+            job_id=job_id,
+            quantum=rec.index,
+            position=shared,
+            start_step=rec.start_step,
+            detail=(
+                f"expected {len(exp_records)} quanta, got {len(got_records)}"
+            ),
+        )
+    return None
+
+
+def first_divergence(
+    expected: Mapping[int, JobTrace],
+    got: Mapping[int, JobTrace],
+    *,
+    horizon: int | None = None,
+) -> TraceDivergence | None:
+    """The globally-first divergence between two trace sets, or None.
+
+    Per-job candidates are ordered by ``(start_step, job_id)`` — quanta are
+    machine-wide and synchronized, so the earliest start step is the first
+    moment the two executions differ.  ``horizon`` restricts the comparison
+    to each job's first ``horizon`` records (the shrinker's comparison
+    window); metadata and job-set mismatches are reported regardless.
+    """
+    missing = sorted(set(expected) - set(got))
+    extra = sorted(set(got) - set(expected))
+    if missing or extra:
+        parts = []
+        if missing:
+            parts.append(f"missing jobs {missing}")
+        if extra:
+            parts.append(f"unexpected jobs {extra}")
+        return TraceDivergence(kind="job-set", detail=", ".join(parts))
+    best: TraceDivergence | None = None
+    best_key: tuple[int, int] | None = None
+    for job_id in sorted(expected):
+        candidate = _job_divergence(job_id, expected[job_id], got[job_id], horizon)
+        if candidate is None:
+            continue
+        if candidate.kind == "metadata":
+            return candidate
+        assert candidate.start_step is not None and candidate.job_id is not None
+        key = (candidate.start_step, candidate.job_id)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    return best

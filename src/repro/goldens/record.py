@@ -1,0 +1,299 @@
+"""Recording golden fixtures and checking their freshness.
+
+Recording happens in two steps.  First a scenario is *materialized*: the
+fig6-style generators run once, here, with their pinned ``[seed, index]``
+RNG recipe, and the resulting jobs are flattened into explicit phase
+lists inside a :class:`~repro.goldens.spec.ScenarioSpec`.  Second the
+scenario is executed on the serial reference path and its traces — plus
+provenance (git revision, schema versions) — are written as a golden
+bundle.  All randomness lives in this module, at authoring time; replay
+(:mod:`repro.goldens.verify`, including its pool-dispatched worker) is
+RNG-free and rebuilds jobs from the explicit phase lists only.
+
+Freshness: because the bundle digest covers scenario + traces but not
+provenance, re-recording a fixture's *stored* scenario under the current
+tree must reproduce the committed digest bit-for-bit.  If it does not,
+the tree's behaviour changed without re-recording the fixture —
+:func:`check_freshness` turns that into an ``ABG404`` finding for CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..bench.harness import current_rev
+from ..io.traces import (
+    GOLDEN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    GoldenBundle,
+    load_golden_bundle,
+    save_golden_bundle,
+)
+from ..sim.replay import replay_path
+from ..verify.findings import LintFinding, RULES
+from ..workloads.arrivals import staggered_releases
+from ..workloads.jobsets import JobSetGenerator
+from .spec import SPEC_SCHEMA_VERSION, ExplicitJob, ScenarioSpec
+
+__all__ = [
+    "DEFAULT_FIXTURE_DIR",
+    "scenario_from_fig6",
+    "default_scenarios",
+    "record_bundle",
+    "record_fixtures",
+    "fixture_paths",
+    "check_freshness",
+]
+
+#: Where committed fixtures live, relative to the repository root.
+DEFAULT_FIXTURE_DIR = Path("fixtures/goldens")
+
+
+def scenario_from_fig6(
+    scenario_id: str,
+    *,
+    seed: int,
+    index: int = 0,
+    processors: int = 32,
+    quantum_length: int = 200,
+    load_range: tuple[float, float] = (0.5, 1.5),
+    factor_range: tuple[int, int] = (2, 100),
+    policy: str = "abg",
+    policy_params: Mapping[str, float] | None = None,
+    allocator: str = "deq",
+    release_gap: int = 0,
+    max_quanta: int = 200_000,
+    horizon: int | None = None,
+) -> ScenarioSpec:
+    """Materialize one Figure-6-style job set into an explicit scenario.
+
+    Mirrors the experiment sweep's generation recipe exactly — child RNG
+    stream ``[seed, index]``, a uniform load target, then
+    :class:`~repro.workloads.jobsets.JobSetGenerator` — so recorded
+    fixtures exercise the same workload shapes the experiments do.
+    ``release_gap`` staggers arrivals arithmetically (0 = batched).
+    """
+    rng = np.random.default_rng([seed, index])
+    set_gen = JobSetGenerator(
+        processors, quantum_length=quantum_length, factor_range=factor_range
+    )
+    target = float(rng.uniform(load_range[0], load_range[1]))
+    sample = set_gen.generate(rng, target)
+    releases = staggered_releases(len(sample.jobs), release_gap)
+    jobs = tuple(
+        ExplicitJob(
+            job_id=i,
+            release_time=releases[i],
+            phases=tuple((p.width, p.levels) for p in job.phases),
+        )
+        for i, job in enumerate(sample.jobs)
+    )
+    params = policy_params if policy_params is not None else _default_params(policy)
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        policy=policy,
+        policy_params=tuple(sorted(params.items())),
+        allocator=allocator,
+        processors=processors,
+        quantum_length=quantum_length,
+        max_quanta=max_quanta,
+        jobs=jobs,
+        horizon=horizon,
+    )
+
+
+def _default_params(policy: str) -> dict[str, float]:
+    """The experiment sweep's default knobs for each policy."""
+    if policy == "abg":
+        return {"convergence_rate": 0.2}
+    return {"responsiveness": 2.0, "utilization_threshold": 0.8}
+
+
+def default_scenarios() -> tuple[ScenarioSpec, ...]:
+    """The committed fixture registry.
+
+    Small machines and short quanta keep fixtures a few hundred KB and
+    replays sub-second, while still covering the regimes that matter:
+    light load (allotments track requests), saturated load (DEQ waterfall
+    + rotation active), the AGreedy policy, the round-robin allocator, and
+    staggered arrivals (admission at quantum boundaries).
+    """
+    return (
+        scenario_from_fig6(
+            "fig6-light-abg",
+            seed=2008,
+            index=1,
+            processors=32,
+            quantum_length=200,
+            load_range=(0.6, 0.9),
+        ),
+        scenario_from_fig6(
+            "fig6-heavy-abg",
+            seed=2008,
+            index=2,
+            processors=24,
+            quantum_length=150,
+            load_range=(3.0, 4.0),
+        ),
+        scenario_from_fig6(
+            "fig6-agreedy",
+            seed=2008,
+            index=3,
+            processors=32,
+            quantum_length=200,
+            load_range=(1.5, 2.5),
+            policy="agreedy",
+        ),
+        scenario_from_fig6(
+            "fig6-roundrobin",
+            seed=2008,
+            index=4,
+            processors=24,
+            quantum_length=150,
+            load_range=(1.0, 2.0),
+            allocator="roundrobin",
+        ),
+        scenario_from_fig6(
+            "fig6-staggered-abg",
+            seed=2008,
+            index=5,
+            processors=32,
+            quantum_length=200,
+            load_range=(1.5, 2.5),
+            release_gap=600,
+        ),
+    )
+
+
+def record_bundle(
+    spec: ScenarioSpec,
+    *,
+    extra_provenance: Mapping[str, Any] | None = None,
+) -> GoldenBundle:
+    """Execute ``spec`` on the serial reference path and bundle the traces.
+
+    Provenance carries the recording context only — no timestamps, so
+    recording the same tree twice yields byte-identical fixture files.
+    """
+    specs, allocator = spec.build()
+    result = replay_path(
+        specs,
+        allocator,
+        spec.processors,
+        quantum_length=spec.quantum_length,
+        max_quanta=spec.max_quanta,
+        path="serial",
+    )
+    provenance: dict[str, Any] = {
+        "recorded_rev": current_rev(),
+        "golden_schema": GOLDEN_SCHEMA_VERSION,
+        "trace_schema": SCHEMA_VERSION,
+        "spec_schema": SPEC_SCHEMA_VERSION,
+        "scenario_id": spec.scenario_id,
+        "reference_path": "serial",
+    }
+    if extra_provenance:
+        provenance.update(dict(extra_provenance))
+    return GoldenBundle(
+        scenario=spec.to_dict(), traces=dict(result.traces), provenance=provenance
+    )
+
+
+def record_fixtures(
+    out_dir: str | Path,
+    scenarios: Sequence[ScenarioSpec] | None = None,
+) -> list[Path]:
+    """Record every scenario into ``out_dir`` as ``<scenario_id>.json``."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    specs = tuple(scenarios) if scenarios is not None else default_scenarios()
+    for spec in specs:
+        bundle = record_bundle(spec)
+        written.append(
+            save_golden_bundle(directory / f"{spec.scenario_id}.json", bundle)
+        )
+    return written
+
+
+def fixture_paths(fixture_dir: str | Path) -> list[Path]:
+    """All fixture files in a directory, in deterministic name order."""
+    return sorted(Path(fixture_dir).glob("*.json"))
+
+
+def _finding(code: str, path: str, message: str) -> LintFinding:
+    severity, _summary = RULES[code]
+    return LintFinding(
+        path=path, line=1, col=0, code=code, message=message, severity=severity
+    )
+
+
+def check_freshness(
+    fixture_dir: str | Path,
+    scenarios: Sequence[ScenarioSpec] | None = None,
+) -> list[LintFinding]:
+    """Would re-recording from the current tree change any fixture?
+
+    Three checks, each an ``ABG404`` finding when violated:
+
+    - every committed fixture, re-recorded from its own *stored* scenario
+      (RNG-free), must reproduce the committed digest;
+    - every registry scenario must have a fixture file, and that file's
+      stored scenario must match the registry's materialization (catches a
+      generator or registry edit without re-recording);
+    - unreadable fixtures surface as ``ABG403``.
+
+    Extra fixture files beyond the registry (e.g. shrinker-emitted
+    regressions) are allowed; they are still digest-checked.
+    """
+    directory = Path(fixture_dir)
+    registry = tuple(scenarios) if scenarios is not None else default_scenarios()
+    findings: list[LintFinding] = []
+    by_id = {spec.scenario_id: spec for spec in registry}
+    seen: set[str] = set()
+    for path in fixture_paths(directory):
+        rel = str(path)
+        try:
+            bundle = load_golden_bundle(path)
+            stored = ScenarioSpec.from_dict(bundle.scenario)
+        except ValueError as exc:
+            findings.append(_finding("ABG403", rel, str(exc)))
+            continue
+        seen.add(stored.scenario_id)
+        registered = by_id.get(stored.scenario_id)
+        if registered is not None and registered.to_dict() != bundle.scenario:
+            findings.append(
+                _finding(
+                    "ABG404",
+                    rel,
+                    f"fixture scenario {stored.scenario_id!r} no longer matches "
+                    "the registry's materialization; re-record with "
+                    "`python -m repro record-traces`",
+                )
+            )
+            continue
+        fresh = record_bundle(stored)
+        if fresh.digest != bundle.digest:
+            findings.append(
+                _finding(
+                    "ABG404",
+                    rel,
+                    f"re-recording scenario {stored.scenario_id!r} from the "
+                    f"current tree changes its digest ({bundle.digest[:12]} -> "
+                    f"{fresh.digest[:12]}); behaviour drifted — re-record or "
+                    "fix the regression",
+                )
+            )
+    for scenario_id in sorted(set(by_id) - seen):
+        findings.append(
+            _finding(
+                "ABG404",
+                str(directory / f"{scenario_id}.json"),
+                f"registry scenario {scenario_id!r} has no recorded fixture; "
+                "run `python -m repro record-traces`",
+            )
+        )
+    return findings

@@ -1,14 +1,16 @@
-"""Crash-safe file writes: temp file + fsync + atomic rename.
+"""Crash-safe file writes: temp file + fsync + atomic rename + dir fsync.
 
 Every artifact the repo persists (experiment JSON, ``REPORT.md``, CSV
-exports, ``BENCH_*.json``, checkpoint records) goes through
-:func:`write_atomic`, so an interruption at any instant — SIGKILL, OOM,
-power loss — leaves either the complete previous file or the complete new
-file, never a truncated hybrid.  The recipe is the standard one: write to
-a uniquely-named sibling temp file, flush + ``os.fsync`` the data to disk,
-then ``os.replace`` onto the target (atomic on POSIX and Windows when
+exports, ``BENCH_*.json``, checkpoint records, golden fixtures) goes
+through :func:`write_atomic`, so an interruption at any instant — SIGKILL,
+OOM, power loss — leaves either the complete previous file or the complete
+new file, never a truncated hybrid.  The recipe is the standard one: write
+to a uniquely-named sibling temp file, flush + ``os.fsync`` the data to
+disk, ``os.replace`` onto the target (atomic on POSIX and Windows when
 source and destination share a filesystem, which the sibling placement
-guarantees).
+guarantees), then ``os.fsync`` the parent *directory* — the rename lives
+in the directory entry, and only the directory fsync makes it durable
+across power loss.
 """
 
 from __future__ import annotations
@@ -20,11 +22,31 @@ from pathlib import Path
 __all__ = ["write_atomic"]
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry to disk so a completed rename survives power
+    loss.  Best-effort: platforms/filesystems that cannot fsync a directory
+    (e.g. Windows, some network mounts) are skipped — the rename itself has
+    already happened, so atomicity is unaffected, only durability timing.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_atomic(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
     """Atomically replace ``path``'s contents with ``text``; return the path.
 
     The parent directory is created if missing.  On any failure the temp
-    file is removed and the target is left untouched.
+    file is removed and the target is left untouched.  After the rename the
+    parent directory is fsynced, so the new entry is durable, not merely
+    visible.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -43,4 +65,5 @@ def write_atomic(path: str | Path, text: str, *, encoding: str = "utf-8") -> Pat
         except OSError:
             pass
         raise
+    _fsync_dir(target.parent)
     return target

@@ -311,6 +311,51 @@ CATALOGUE: dict[str, RuleEntry] = {
             "view's lifetime (e.g. capacity pre-sized); the reason "
             "must state that bound.",
         ),
+        _entry(
+            "ABG401",
+            "A replayed golden fixture produced different per-quantum "
+            "values than its recorded reference run: a kernel or policy "
+            "change altered scheduling behaviour.  The finding carries "
+            "the first diverging quantum and a field-level expected/got "
+            "diff — the regression's exact birthplace.",
+            "python -m repro verify-traces  # after perturbing the DEQ waterfall",
+            "Not a source-comment rule; if the new behaviour is intended, "
+            "re-record the fixtures (`python -m repro record-traces`) in "
+            "the same PR and explain the semantic change.",
+        ),
+        _entry(
+            "ABG402",
+            "A replay diverged in *shape*: a job missing from the result, "
+            "an unexpected extra job, or a job finishing after a "
+            "different number of quanta — usually admission or "
+            "termination logic drifting rather than per-quantum math.",
+            "python -m repro verify-traces  # after changing release handling",
+            "Not a source-comment rule; same recourse as ABG401 — "
+            "re-record only if the shape change is intended.",
+        ),
+        _entry(
+            "ABG403",
+            "A golden fixture could not be replayed at all: unknown "
+            "schema, malformed scenario/trace payload, digest mismatch "
+            "(hand-edited without re-recording), or per-trace metadata "
+            "disagreeing before any quantum was compared.",
+            "python -m repro verify-traces  # after hand-editing a fixture JSON",
+            "Not a source-comment rule; never edit fixture files by "
+            "hand — regenerate them with `record-traces`.",
+        ),
+        _entry(
+            "ABG404",
+            "Fixture freshness: re-recording a committed fixture's "
+            "stored scenario under the current tree yields a different "
+            "digest, i.e. behaviour changed but the fixture was not "
+            "re-recorded (or a registry scenario has no fixture).  CI "
+            "runs `record-traces --check` so goldens cannot silently "
+            "rot.",
+            "python -m repro record-traces --check",
+            "Not a source-comment rule; run `python -m repro "
+            "record-traces` and commit the refreshed fixtures with the "
+            "behaviour change.",
+        ),
     )
 }
 

@@ -4,7 +4,8 @@ All analysis layers — the file-local lint (:mod:`repro.verify.lint`,
 rules ``ABG1xx``), the interprocedural flow analysis
 (:mod:`repro.verify.flow`, rules ``ABG2xx``), and the kernel-parity /
 numerical-determinism passes (:mod:`repro.verify.flow.kernel`, rules
-``ABG3xx``) — report the same
+``ABG3xx``), and the golden-trace replay harness (:mod:`repro.goldens`,
+rules ``ABG4xx``) — report the same
 :class:`LintFinding` record, draw severities from the same registry, and
 honor the same suppression comments, so ``python -m repro lint`` can emit
 one unified report with a single exit-code policy.
@@ -79,6 +80,10 @@ RULES: dict[str, tuple[str, str]] = {
     "ABG342": ("error", "out=/in-place target aliases an input across a call boundary"),
     "ABG343": ("error", "stored view of a buffer the owning class mutates in place (write-after-borrow)"),
     "ABG344": ("error", "stored view of a reallocation-managed buffer (stale after doubling/resize)"),
+    "ABG401": ("error", "golden trace diverged: field-level mismatch at a replayed quantum"),
+    "ABG402": ("error", "golden trace diverged in shape: job set or quantum count mismatch"),
+    "ABG403": ("error", "golden bundle unreadable: schema, digest, or metadata mismatch"),
+    "ABG404": ("error", "golden fixture stale: re-recording from the current tree changes it"),
 }
 
 

@@ -8,6 +8,7 @@ variants of the Figure 6 experiment.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -26,8 +27,11 @@ def poisson_releases(
     """Poisson process: exponential inter-arrival times, first job at 0."""
     if count < 1:
         raise ValueError("need at least one job")
-    if mean_interarrival <= 0:
-        raise ValueError("mean inter-arrival must be positive")
+    if not math.isfinite(mean_interarrival) or mean_interarrival <= 0:
+        raise ValueError(
+            f"mean inter-arrival must be a positive finite number, "
+            f"got {mean_interarrival!r}"
+        )
     gaps = rng.exponential(mean_interarrival, size=count - 1)
     times = np.concatenate([[0.0], np.cumsum(gaps)])
     return [int(round(t)) for t in times]
@@ -66,10 +70,26 @@ def trace_releases(trace: Sequence[float]) -> list[int]:
     """
     if len(trace) == 0:
         raise ValueError("trace contains no release times")
-    times = [int(round(float(t))) for t in trace]
-    if any(t < 0 for t in times):
-        raise ValueError("release times must be non-negative")
-    if any(b < a for a, b in zip(times, times[1:])):
-        raise ValueError("trace release times must be nondecreasing")
+    times: list[int] = []
+    for i, raw in enumerate(trace):
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"trace[{i}] must be a number, got {raw!r}"
+            ) from None
+        if not math.isfinite(value):
+            raise ValueError(f"trace[{i}] must be finite, got {value!r}")
+        if value < 0:
+            raise ValueError(
+                f"trace[{i}] must be non-negative, got {value!r}"
+            )
+        times.append(int(round(value)))
+    for i, (a, b) in enumerate(zip(times, times[1:]), start=1):
+        if b < a:
+            raise ValueError(
+                f"trace release times must be nondecreasing, but "
+                f"trace[{i}] ({b}) < trace[{i - 1}] ({a})"
+            )
     base = times[0]
     return [t - base for t in times]

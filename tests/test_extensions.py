@@ -96,6 +96,46 @@ class TestArrivalGenerators:
         with pytest.raises(ValueError):
             trace_releases([5.0, 3.0])
 
+    def test_poisson_nonfinite_rate_rejected(self, rng):
+        with pytest.raises(ValueError, match="positive finite"):
+            poisson_releases(rng, 3, float("nan"))
+        with pytest.raises(ValueError, match="positive finite"):
+            poisson_releases(rng, 3, float("inf"))
+        with pytest.raises(ValueError, match="positive finite"):
+            poisson_releases(rng, 3, -1.0)
+
+    def test_trace_nonfinite_entries_named_by_index(self):
+        with pytest.raises(ValueError, match=r"trace\[1\] must be finite"):
+            trace_releases([0.0, float("nan"), 2.0])
+        with pytest.raises(ValueError, match=r"trace\[2\] must be finite"):
+            trace_releases([0.0, 1.0, float("inf")])
+
+    def test_trace_negative_named_by_index(self):
+        with pytest.raises(ValueError, match=r"trace\[0\] must be non-negative"):
+            trace_releases([-1.0, 2.0])
+
+    def test_trace_non_numeric_named_by_index(self):
+        with pytest.raises(ValueError, match=r"trace\[1\] must be a number"):
+            trace_releases([0.0, "later", 2.0])  # type: ignore[list-item]
+
+    def test_trace_decreasing_names_both_indices(self):
+        with pytest.raises(ValueError, match=r"trace\[1\] \(3\) < trace\[0\] \(5\)"):
+            trace_releases([5.0, 3.0])
+
+    def test_trace_subzero_rounding_rejected_not_masked(self):
+        # -0.4 used to round to 0 and slip through; negatives now fail loudly
+        with pytest.raises(ValueError, match=r"trace\[0\] must be non-negative"):
+            trace_releases([-0.4, 2.0])
+
+    def test_trace_edge_determinism_at_rounding_boundaries(self):
+        trace = [0.5, 1.5, 2.5, 3.5]  # banker's rounding territory
+        first = trace_releases(trace)
+        assert first == trace_releases(tuple(trace))
+        assert first == trace_releases(np.asarray(trace))
+
+    def test_staggered_zero_gap_all_at_release_zero(self):
+        assert staggered_releases(3, 0) == [0, 0, 0]
+
 
 class TestArrivalsExperiment:
     def test_rows_and_theorem5(self):

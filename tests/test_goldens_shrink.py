@@ -1,0 +1,226 @@
+"""Tests for the golden-trace job-set shrinker (``repro.goldens.shrink``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocators.equipartition import DynamicEquiPartitioning
+from repro.goldens import (
+    ExplicitJob,
+    ScenarioSpec,
+    TraceDivergence,
+    default_scenarios,
+    regression_bundle,
+    shrink_scenario,
+    verify_traces,
+)
+from repro.goldens.shrink import ShrinkResult, cross_path_divergence
+from repro.io.traces import load_golden_bundle, save_golden_bundle
+
+
+def wide_spec(num_jobs: int = 8) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="wide",
+        policy="abg",
+        policy_params=(("convergence_rate", 0.2),),
+        allocator="deq",
+        processors=8,
+        quantum_length=50,
+        max_quanta=10_000,
+        jobs=tuple(
+            ExplicitJob(
+                job_id=i,
+                release_time=0,
+                phases=((1, 60), (3, 90), (1, 40)),
+            )
+            for i in range(num_jobs)
+        ),
+    )
+
+
+def synthetic_predicate(spec: ScenarioSpec) -> TraceDivergence | None:
+    """Fails iff jobs 2 and 5 are both present — the classic ddmin pair."""
+    ids = {job.job_id for job in spec.jobs}
+    if {2, 5} <= ids:
+        return TraceDivergence(
+            kind="field",
+            job_id=5,
+            quantum=3,
+            position=2,
+            start_step=200,
+            detail="synthetic interaction of jobs 2 and 5",
+        )
+    return None
+
+
+def _perturb_deq(monkeypatch):
+    orig = DynamicEquiPartitioning.allocate_batch
+
+    def perturbed(self, ids, requests, total):
+        grants = orig(self, ids, requests, total)
+        deprived = np.flatnonzero(grants < requests)
+        rich = np.flatnonzero(grants >= 2)
+        if deprived.size and rich.size and rich[-1] != deprived[0]:
+            grants = grants.copy()
+            grants[rich[-1]] -= 1
+            grants[deprived[0]] += 1
+        return grants
+
+    monkeypatch.setattr(DynamicEquiPartitioning, "allocate_batch", perturbed)
+
+
+class TestDdmin:
+    def test_reduces_to_exact_interacting_pair(self):
+        result = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert result is not None
+        assert sorted(job.job_id for job in result.spec.jobs) == [2, 5]
+
+    def test_original_job_ids_are_preserved(self):
+        result = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert result is not None
+        # jobs keep their original identities — the reproduction names the
+        # same jobs the full scenario did, not a renumbered 0..n
+        for job in result.spec.jobs:
+            assert job.job_id in (2, 5)
+            assert job.release_time == 0
+
+    def test_phases_reduced_to_minimum(self):
+        result = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert result is not None
+        # the synthetic predicate ignores phases, so ddmin strips each job
+        # to a single phase (never zero: that would be an invalid job)
+        assert all(len(job.phases) == 1 for job in result.spec.jobs)
+        assert result.phase_count == len(result.spec.jobs)
+
+    def test_horizon_trimmed_to_divergence(self):
+        result = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert result is not None
+        assert result.divergence.position == 2
+        assert result.spec.horizon == 3
+
+    def test_bookkeeping(self):
+        result = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert result is not None
+        assert result.original_jobs == 8
+        assert result.original_phases == 24
+        assert result.evaluations > 0
+        assert "8 job(s)" in result.describe()
+        assert "2 job(s)" in result.describe()
+
+    def test_deterministic(self):
+        a = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        b = shrink_scenario(wide_spec(), predicate=synthetic_predicate)
+        assert a is not None and b is not None
+        assert a.spec == b.spec
+        assert a.evaluations == b.evaluations
+
+    def test_non_failing_scenario_is_not_shrinkable(self):
+        result = shrink_scenario(
+            wide_spec(), predicate=lambda spec: None
+        )
+        assert result is None
+
+    def test_single_job_failure_keeps_that_job(self):
+        def single(spec: ScenarioSpec) -> TraceDivergence | None:
+            ids = {job.job_id for job in spec.jobs}
+            if 3 in ids:
+                return TraceDivergence(
+                    kind="field", job_id=3, quantum=1, position=0, start_step=0
+                )
+            return None
+
+        result = shrink_scenario(wide_spec(), predicate=single)
+        assert result is not None
+        assert [job.job_id for job in result.spec.jobs] == [3]
+        assert result.spec.horizon == 1
+
+
+class TestCrossPathShrink:
+    def test_unmutated_tree_has_no_divergence(self):
+        spec = wide_spec(num_jobs=4)
+        assert cross_path_divergence(spec) is None
+        assert shrink_scenario(spec) is None
+
+    def test_deq_perturbation_shrinks_fig6_set(self, monkeypatch):
+        heavy = next(
+            s for s in default_scenarios() if s.scenario_id == "fig6-heavy-abg"
+        )
+        _perturb_deq(monkeypatch)
+        result = shrink_scenario(heavy)
+        assert result is not None
+        # acceptance bar: the fig6-scale failing job set reduces to <= 3 jobs
+        assert len(result.spec.jobs) <= 3
+        assert len(result.spec.jobs) < result.original_jobs
+        assert result.divergence.kind == "field"
+        assert result.spec.horizon is not None
+        # the shrunk scenario still reproduces the divergence on its own
+        again = cross_path_divergence(result.spec)
+        assert again is not None
+        assert again.to_payload() == result.divergence.to_payload()
+
+    def test_regression_bundle_round_trip(self, tmp_path, monkeypatch):
+        heavy = next(
+            s for s in default_scenarios() if s.scenario_id == "fig6-heavy-abg"
+        )
+        with monkeypatch.context() as patched:
+            _perturb_deq(patched)
+            result = shrink_scenario(heavy)
+            assert result is not None
+            bundle = regression_bundle(result, shrunk_from="fig6-heavy-abg")
+            path = save_golden_bundle(
+                tmp_path / f"{bundle.scenario['scenario_id']}.json", bundle
+            )
+            loaded = load_golden_bundle(path)
+            assert loaded.scenario["scenario_id"] == "fig6-heavy-abg-min"
+            assert loaded.provenance["shrunk_from"] == "fig6-heavy-abg"
+            assert loaded.provenance["shrink_evaluations"] == result.evaluations
+            # while the kernel is still mutated the new fixture fails replay
+            mutated = verify_traces([path])
+            assert not mutated.passed
+        # with the mutation reverted it documents the fixed behaviour: the
+        # recorded reference was the (unmutated) serial path, so all three
+        # execution paths replay it clean
+        clean = verify_traces([path])
+        assert clean.passed, clean.render()
+
+    def test_shrink_result_describe_mentions_evaluations(self, monkeypatch):
+        heavy = next(
+            s for s in default_scenarios() if s.scenario_id == "fig6-heavy-abg"
+        )
+        _perturb_deq(monkeypatch)
+        result = shrink_scenario(heavy)
+        assert result is not None
+        assert isinstance(result, ShrinkResult)
+        assert "evaluation(s)" in result.describe()
+
+
+class TestShrinkCli:
+    def test_shrink_out_writes_minimal_fixture(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.goldens import fixture_paths, record_fixtures
+
+        out = tmp_path / "goldens"
+        shrunk = tmp_path / "shrunk"
+        record_fixtures(
+            out,
+            [s for s in default_scenarios() if s.scenario_id == "fig6-heavy-abg"],
+        )
+        _perturb_deq(monkeypatch)
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "verify-traces",
+                    "--fixtures",
+                    str(out),
+                    "--shrink-out",
+                    str(shrunk),
+                ]
+            )
+        assert exc.value.code == 1
+        text = capsys.readouterr().out
+        assert "shrunk" in text
+        written = fixture_paths(shrunk)
+        assert [p.stem for p in written] == ["fig6-heavy-abg-min"]
+        loaded = load_golden_bundle(written[0])
+        assert len(loaded.scenario["jobs"]) <= 3

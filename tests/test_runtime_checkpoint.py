@@ -45,6 +45,69 @@ class TestWriteAtomic:
         assert path.read_text() == "original"
         assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
 
+    def test_parent_directory_fd_is_fsynced(self, tmp_path, monkeypatch):
+        # the rename lives in the directory entry: after os.replace the
+        # parent dir fd itself must be flushed for the write to be durable
+        import os
+        import stat
+
+        synced: list[os.stat_result] = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd: int) -> None:
+            synced.append(os.fstat(fd))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        write_atomic(tmp_path / "a.txt", "x")
+        dir_stat = os.stat(tmp_path)
+        dir_syncs = [s for s in synced if stat.S_ISDIR(s.st_mode)]
+        assert dir_syncs, "parent directory fd was never fsynced"
+        assert any(
+            s.st_ino == dir_stat.st_ino and s.st_dev == dir_stat.st_dev
+            for s in dir_syncs
+        ), "a directory was fsynced, but not the target's parent"
+        # the data fd is still flushed too (a regular file, before the dir)
+        assert any(stat.S_ISREG(s.st_mode) for s in synced)
+
+    def test_failure_path_skips_dir_fsync_and_cleans_temp(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+        import stat
+
+        synced: list[os.stat_result] = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd: int) -> None:
+            synced.append(os.fstat(fd))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        with pytest.raises(TypeError):
+            write_atomic(tmp_path / "a.txt", object())  # type: ignore[arg-type]
+        # no rename happened, so no directory flush — and no temp litter
+        assert not any(stat.S_ISDIR(s.st_mode) for s in synced)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_dir_fsync_is_best_effort(self, tmp_path, monkeypatch):
+        # platforms where directories cannot be fsynced must not break the
+        # write: an OSError from the directory flush is swallowed
+        import os
+
+        real_fsync = os.fsync
+
+        def flaky_fsync(fd: int) -> None:
+            import stat as stat_mod
+
+            if stat_mod.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported")
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        target = write_atomic(tmp_path / "a.txt", "x")
+        assert target.read_text() == "x"
+
 
 class TestUnitKey:
     def test_order_independent(self):
