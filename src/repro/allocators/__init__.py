@@ -9,6 +9,7 @@ from .availability import (
 )
 from .base import Allocator, AvailabilityPolicy, validate_allocation
 from .equipartition import DynamicEquiPartitioning
+from .hierarchical import HierarchicalAllocator
 from .roundrobin import RoundRobinAllocator
 
 __all__ = [
@@ -20,5 +21,6 @@ __all__ = [
     "RandomAvailability",
     "TraceAvailability",
     "DynamicEquiPartitioning",
+    "HierarchicalAllocator",
     "RoundRobinAllocator",
 ]

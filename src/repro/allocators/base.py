@@ -80,6 +80,48 @@ class Allocator(ABC):
         """
         return None
 
+    def fixed_point_probe(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        limit: int,
+    ) -> int:
+        """Pure half of :meth:`allocation_fixed_point`: how many upcoming
+        quanta this allocation is guaranteed to repeat for, *without*
+        touching any internal state.
+
+        ``grants`` is the array :meth:`allocate_batch` just returned for
+        ``(ids, requests, total)``.  The return value is ``k`` in
+        ``[0, limit]`` such that the next ``k`` calls of ``allocate_batch``
+        with the same arguments would return ``grants`` again.  Probing must
+        be side-effect free so that composite allocators (and the sharded
+        executor) can probe several sub-allocations, take the minimum, and
+        only then commit via :meth:`fixed_point_advance` — probing twice, or
+        probing further than the caller ultimately advances, must be
+        harmless.  Returning 0 always is correct; the base implementation
+        knows nothing about the policy's state and does exactly that.
+        """
+        return 0
+
+    def fixed_point_advance(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        span: int,
+    ) -> None:
+        """Commit half of :meth:`allocation_fixed_point`: advance internal
+        state (rotation counters and the like) exactly as ``span`` calls of
+        ``allocate_batch(ids, requests, total)`` would.  The caller must have
+        obtained ``span <= fixed_point_probe(...)`` for the same arguments;
+        the byte-for-byte artifact guarantee depends on the state evolving
+        identically to the skipped calls.  The base probe never certifies a
+        span, so the base advance has nothing to do.
+        """
+
     def allocation_fixed_point(
         self,
         ids: np.ndarray,
@@ -92,18 +134,20 @@ class Allocator(ABC):
 
         The superstep layer calls this after a quantum whose requests are
         known to repeat: ``grants`` is the array :meth:`allocate_batch` just
-        returned for ``(ids, requests, total)``.  An implementation returns
-        ``k`` in ``[0, limit]`` such that the next ``k`` calls of
+        returned for ``(ids, requests, total)``.  The call returns ``k`` in
+        ``[0, limit]`` such that the next ``k`` calls of
         ``allocate_batch(ids, requests, total)`` are *guaranteed* to return
-        ``grants`` again, and it must advance its internal state (rotation
-        counters and the like) exactly as those ``k`` calls would — the
-        simulator then skips them wholesale, and the byte-for-byte artifact
-        guarantee depends on the state evolving identically.  Returning 0
-        always is correct (it merely disables multi-quantum fast-forwarding);
-        the base implementation knows nothing about the policy's state and
-        does exactly that.
+        ``grants`` again, and it advances the internal state exactly as
+        those ``k`` calls would — the simulator then skips them wholesale,
+        and the byte-for-byte artifact guarantee depends on the state
+        evolving identically.  Implementations override the
+        :meth:`fixed_point_probe` / :meth:`fixed_point_advance` pair rather
+        than this composed entry point.
         """
-        return 0
+        span = self.fixed_point_probe(ids, requests, grants, total, limit)
+        if span > 0:
+            self.fixed_point_advance(ids, requests, grants, total, span)
+        return span
 
 
 def validate_allocation(

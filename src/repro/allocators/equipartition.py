@@ -113,7 +113,25 @@ class DynamicEquiPartitioning(Allocator):
             break
         return out
 
-    def allocation_fixed_point(
+    def _classify(self, requests: np.ndarray, total: int) -> bool | None:
+        """Re-derive the waterfall (without granting): ``None`` when every
+        job is satisfied through the ``requests <= share`` rounds (rotation
+        never consulted), ``True`` when the rotating round runs with
+        ``extra == 0`` (grants pure, rotation still advances), ``False``
+        when ``extra > 0`` (the bonus processors move next quantum)."""
+        remaining = total
+        active = requests
+        while active.size:
+            share = remaining // active.size
+            low = active <= share
+            if low.any():
+                remaining -= int(active[low].sum())
+                active = active[~low]
+                continue
+            return remaining - share * active.size == 0
+        return None
+
+    def fixed_point_probe(
         self,
         ids: np.ndarray,
         requests: np.ndarray,
@@ -129,8 +147,8 @@ class DynamicEquiPartitioning(Allocator):
           allocation is a pure function of the requests and ``_rotation`` is
           never consulted or advanced: a fixed point for any horizon;
         - the rotating round runs with ``extra == 0`` — the equal split is
-          exact, so the offset is irrelevant to the grants, but ``_rotation``
-          still advances once per quantum (advance it by ``limit`` here);
+          exact, so the offset is irrelevant to the grants (``_rotation``
+          still advances once per quantum; see :meth:`fixed_point_advance`);
         - the rotating round runs with ``extra > 0`` — the bonus processors
           move next quantum, so there is no fixed point at all.  Note the
           grants alone cannot detect this case: when every unsatisfied job
@@ -138,17 +156,17 @@ class DynamicEquiPartitioning(Allocator):
         """
         if limit <= 0:
             return 0
-        remaining = total
-        active = requests
-        while active.size:
-            share = remaining // active.size
-            low = active <= share
-            if low.any():
-                remaining -= int(active[low].sum())
-                active = active[~low]
-                continue
-            if remaining - share * active.size == 0:
-                self._rotation += limit
-                return limit
-            return 0
-        return limit
+        return 0 if self._classify(requests, total) is False else limit
+
+    def fixed_point_advance(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        span: int,
+    ) -> None:
+        # Skipped quanta advance the rotation only if they reach the rotating
+        # round; all-satisfied quanta never consult the counter.
+        if self._classify(requests, total) is True:
+            self._rotation += span

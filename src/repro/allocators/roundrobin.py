@@ -79,7 +79,7 @@ class RoundRobinAllocator(Allocator):
         bonus = ((np.arange(n, dtype=np.int64) - offset) % n) < extra
         return np.minimum(requests, share + bonus)
 
-    def allocation_fixed_point(
+    def fixed_point_probe(
         self,
         ids: np.ndarray,
         requests: np.ndarray,
@@ -89,10 +89,20 @@ class RoundRobinAllocator(Allocator):
     ) -> int:
         """Round-robin's grants depend on the rotation offset exactly when
         the share division leaves a remainder; with ``extra == 0`` the
-        allocation is a pure function of the requests, though ``_rotation``
-        still advances once per call (advance it wholesale here)."""
+        allocation is a pure function of the requests (``_rotation`` still
+        advances once per call; see :meth:`fixed_point_advance`)."""
         n = int(ids.size)
         if limit <= 0 or n == 0 or total % n:
             return 0
-        self._rotation += limit
         return limit
+
+    def fixed_point_advance(
+        self,
+        ids: np.ndarray,
+        requests: np.ndarray,
+        grants: np.ndarray,
+        total: int,
+        span: int,
+    ) -> None:
+        # The rotation advances on every call, satisfied or not.
+        self._rotation += span

@@ -15,7 +15,10 @@ test suite) and ``"default"`` (the committed-baseline scale).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from ..workloads.giant import GiantScenario
 
 import numpy as np
 
@@ -191,6 +194,81 @@ def _multi_superstep_off(scale: str) -> int:
     return _run_stable(scale, "off")
 
 
+def _run_hier(scale: str, batch: BatchChoice) -> int:
+    """Multiprogrammed loop under the hierarchical allocator (flat loop,
+    no sharding): gates the grouped waterfall + rebalancing cost against
+    the centralized DEQ scenarios on the identical saturated job sets."""
+    from ..allocators.hierarchical import HierarchicalAllocator
+
+    total = 0
+    for sample in _multi_sets(scale):
+        policy = AControl(0.2)
+        specs = [JobSpec(job=job, feedback=policy) for job in sample.jobs]
+        result = simulate_job_set(
+            specs,
+            HierarchicalAllocator(group_size=32, rebalance_interval=50),
+            128,
+            batch=batch,
+            superstep="off",
+        )
+        total += sum(len(t.records) for t in result.traces.values())
+    return total
+
+
+def _multi_hier(scale: str) -> int:
+    """Hierarchical allocation through the batched kernel (``batch="auto"``)."""
+    return _run_hier(scale, "auto")
+
+
+def _multi_hier_serial(scale: str) -> int:
+    """Hierarchical allocation, serial per-job executors (``batch="off"``)."""
+    return _run_hier(scale, "off")
+
+
+#: The giant-scale scenario per bench scale, materialized once (pure
+#: function of the scale).  Default is the headline configuration from the
+#: sharding work: 4096 jobs on P=16385 across 32 allocation groups.
+_GIANT_CACHE: dict[str, "GiantScenario"] = {}
+
+
+def _giant(scale: str) -> "GiantScenario":
+    from ..workloads.giant import giant_scenario
+
+    if scale not in _GIANT_CACHE:
+        if scale == "smoke":
+            _GIANT_CACHE[scale] = giant_scenario(groups=8, jobs_per_group=32, stable_quanta=100, rebalance_interval=100)  # abg: allow[ABG201] reason=pure memoization: the cached scenario is a deterministic function of `scale`, so every process computes the identical value and worker count cannot change any result
+        else:
+            _GIANT_CACHE[scale] = giant_scenario()  # abg: allow[ABG201] reason=pure memoization: the cached scenario is a deterministic function of `scale`, so every process computes the identical value and worker count cannot change any result
+    return _GIANT_CACHE[scale]
+
+
+def _run_giant(scale: str, shards: int | None) -> int:
+    """Drive the giant-scale workload flat (``shards=None``) or through the
+    windowed sharded executor; units are job-quanta covered (byte-identical
+    either way — the recorded seconds are the sharding speedup evidence)."""
+    sc = _giant(scale)
+    result = simulate_job_set(
+        sc.specs,
+        sc.build_allocator(),
+        sc.processors,
+        quantum_length=sc.quantum_length,
+        shards=shards,
+    )
+    return sum(len(t.records) for t in result.traces.values())
+
+
+def _multi_giant_flat(scale: str) -> int:
+    """Giant-scale workload on the flat centralized loop (the denominator
+    of the sharding speedup recorded in the committed baselines)."""
+    return _run_giant(scale, None)
+
+
+def _multi_giant_sharded(scale: str) -> int:
+    """Giant-scale workload through 4 shard workers (window barriers,
+    per-group supersteps, shared worker pool)."""
+    return _run_giant(scale, 4)
+
+
 def _fig6_full(scale: str) -> int:
     """Figure 6 driver at full per-set fidelity, scaled by set count.
 
@@ -297,6 +375,26 @@ SCENARIOS: tuple[Scenario, ...] = (
         "multi-superstep-off",
         "stable-allocation loop forced per-quantum",
         _multi_superstep_off,
+    ),
+    Scenario(
+        "multi-hier",
+        "hierarchical allocation, batched multi-job kernel",
+        _multi_hier,
+    ),
+    Scenario(
+        "multi-hier-serial",
+        "hierarchical allocation, serial per-job executors",
+        _multi_hier_serial,
+    ),
+    Scenario(
+        "multi-giant-flat",
+        "giant-scale sharding workload, flat centralized loop",
+        _multi_giant_flat,
+    ),
+    Scenario(
+        "multi-giant-sharded",
+        "giant-scale sharding workload, 4 shard workers",
+        _multi_giant_sharded,
     ),
     Scenario(
         "fig6-full",

@@ -19,6 +19,7 @@ Usage::
     python -m repro audit [--lint src/repro]
     python -m repro lint [--deep] [--format json] [paths...]
     python -m repro record-traces [--out fixtures/goldens] [--check]
+                                  [--record-on-green]
                                   [--from-experiments SCALE] [--sets N]
     python -m repro verify-traces [--fixtures fixtures/goldens] [--workers N]
                                   [--retries K] [--task-timeout S]
@@ -94,6 +95,23 @@ def _positive_int(value: str) -> int:
         ) from None
     if count < 1:
         raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {count}")
+    return count
+
+
+def _shard_spec(value: str) -> int | str:
+    """``--shards`` validator: ``auto`` or an integer >= 1 (1 = flat loop)."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be an integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be >= 1 (1 means the flat loop), got {count}"
+        )
     return count
 
 
@@ -251,6 +269,8 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
         workers=args.workers,
         retries=args.retries,
         task_timeout=args.task_timeout,
+        group_size=args.group_size,
+        shards=args.shards,
     )
     bins = exp.bin_by_load(result, num_bins=args.bins)
     if args.csv:
@@ -291,6 +311,42 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
         f"  (paper: ~1.0)"
     )
     return out
+
+
+def _cmd_giant(args: argparse.Namespace) -> str:
+    import time
+
+    from .sim.multi import simulate_job_set
+    from .workloads.giant import artifact_rows, giant_scenario
+
+    scenario = giant_scenario(
+        groups=args.groups,
+        jobs_per_group=args.jobs_per_group,
+        stable_quanta=args.quanta,
+    )
+    t0 = time.perf_counter()
+    result = simulate_job_set(
+        scenario.specs,
+        scenario.build_allocator(),
+        scenario.processors,
+        quantum_length=scenario.quantum_length,
+        shards=args.shards,
+    )
+    elapsed = time.perf_counter() - t0
+    rows = artifact_rows(result)
+    lines = [
+        f"giant scenario: {len(scenario.specs)} jobs on P={scenario.processors} "
+        f"({args.groups} groups of {scenario.group_size})",
+        f"shards={args.shards if args.shards is not None else 1}: "
+        f"{result.quanta_elapsed} quanta in {elapsed:.3f}s "
+        f"(makespan {result.makespan:.0f})",
+    ]
+    if args.csv:
+        from .report import write_csv
+
+        path = write_csv(rows, args.csv)
+        lines.append(f"wrote {len(rows)} per-job rows to {path}")
+    return "\n".join(lines)
 
 
 def _cmd_theorem1(args: argparse.Namespace) -> str:
@@ -568,7 +624,7 @@ def _cmd_lint(args: argparse.Namespace) -> str:
 
 
 def _cmd_record_traces(args: argparse.Namespace) -> str:
-    from .goldens import check_freshness, record_fixtures
+    from .goldens import check_freshness, record_fixtures, record_stale_fixtures
     from .verify.findings import exit_code, render_findings
 
     out = Path(args.out)
@@ -580,6 +636,20 @@ def _cmd_record_traces(args: argparse.Namespace) -> str:
             print(text)
             raise SystemExit(status)
         return text
+    if args.record_on_green:
+        if args.from_experiments is not None:
+            raise SystemExit(
+                "error: --record-on-green applies to the default registry "
+                "only (drop --from-experiments)"
+            )
+        written, skipped = record_stale_fixtures(out)
+        lines = [
+            f"re-recorded {len(written)} stale fixture(s) under {out}, "
+            f"left {len(skipped)} green fixture(s) untouched:"
+        ]
+        lines.extend(f"  stale {path}" for path in written)
+        lines.extend(f"  green {path}" for path in skipped)
+        return "\n".join(lines)
     if args.from_experiments is not None:
         from .experiments.runner import record_from_experiments
 
@@ -724,9 +794,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_arguments(p)
     p.add_argument("--bins", type=_positive_int, default=12)
+    p.add_argument(
+        "--group-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run every set under hierarchical allocation with groups of "
+        "this many processors (default: centralized DEQ)",
+    )
+    p.add_argument(
+        "--shards",
+        type=_shard_spec,
+        default=None,
+        metavar="N",
+        help="dispatch each set's quantum loop over N shard workers "
+        "('auto' = all cores); figures are byte-identical at any value",
+    )
     p.add_argument("--plot", action="store_true", help="draw ASCII charts")
     p.add_argument("--csv", default=None, help="write per-set rows to CSV")
     p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser(
+        "giant",
+        help="giant-scale hierarchical sharding scenario (thousands of "
+        "jobs, P in the tens of thousands); the CSV artifact is "
+        "byte-identical at any --shards value",
+    )
+    p.add_argument(
+        "--groups", type=_positive_int, default=32, help="allocation groups"
+    )
+    p.add_argument(
+        "--jobs-per-group", type=_positive_int, default=128, help="jobs per group"
+    )
+    p.add_argument(
+        "--quanta",
+        type=_positive_int,
+        default=800,
+        help="quanta a stable job runs (sets the horizon)",
+    )
+    p.add_argument(
+        "--shards",
+        type=_shard_spec,
+        default=None,
+        metavar="N",
+        help="shard workers ('auto' = all cores; default: flat loop)",
+    )
+    p.add_argument("--csv", default=None, help="write per-job rows to CSV")
+    p.set_defaults(func=_cmd_giant)
 
     p = sub.add_parser("theorem1", help="control-theoretic property table")
     p.set_defaults(func=_cmd_theorem1)
@@ -927,6 +1041,13 @@ def build_parser() -> argparse.ArgumentParser:
         "committed fixture from the current tree would change it",
     )
     p.add_argument(
+        "--record-on-green",
+        action="store_true",
+        help="re-record only stale fixtures (missing file, scenario drift, "
+        "or digest drift); byte-fresh fixtures are left untouched so their "
+        "committed bytes and provenance never churn",
+    )
+    p.add_argument(
         "--from-experiments",
         choices=("smoke", "reduced", "full"),
         default=None,
@@ -945,8 +1066,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "verify-traces",
         help="replay every committed golden fixture on all execution paths "
-        "(serial/batched/superstep) and fail with the first diverging "
-        "quantum and a field-level diff",
+        "(serial/batched/superstep/sharded) and fail with the first "
+        "diverging quantum and a field-level diff",
     )
     p.add_argument(
         "--fixtures",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Literal
 
 import numpy as np
 
@@ -27,6 +27,7 @@ if TYPE_CHECKING:
     from ..sim.stats import ConfidenceInterval
 
 from ..allocators.equipartition import DynamicEquiPartitioning
+from ..allocators.hierarchical import HierarchicalAllocator
 from ..core.abg import AControl
 from ..core.agreedy import AGreedy
 from ..core.feedback import FeedbackPolicy
@@ -105,11 +106,28 @@ def _run_set(
     policy: FeedbackPolicy,
     processors: int,
     quantum_length: int,
+    group_size: int | None = None,
+    shards: "int | Literal['auto'] | None" = None,
 ) -> tuple[float, float]:
-    """(makespan, mean response time) of one batched job set under a policy."""
+    """(makespan, mean response time) of one batched job set under a policy.
+
+    ``group_size`` switches the machine from centralized DEQ to hierarchical
+    sharded allocation; ``shards`` dispatches the quantum loop over worker
+    processes.  Either way the traces — and so these two numbers — are
+    byte-identical to the defaults.
+    """
     specs = [JobSpec(job=j, feedback=policy) for j in sample.jobs]
+    allocator: DynamicEquiPartitioning | HierarchicalAllocator
+    if group_size is not None:
+        allocator = HierarchicalAllocator(group_size)
+    else:
+        allocator = DynamicEquiPartitioning()
     result = simulate_job_set(
-        specs, DynamicEquiPartitioning(), processors, quantum_length=quantum_length
+        specs,
+        allocator,
+        processors,
+        quantum_length=quantum_length,
+        shards=shards,
     )
     return float(result.makespan), float(result.mean_response_time)
 
@@ -127,6 +145,8 @@ class _Fig6Task:
     utilization_threshold: float
     factor_range: tuple[int, int]
     seed: int
+    group_size: int | None = None
+    shards: "int | Literal['auto'] | None" = None
 
 
 def _fig6_set_point(task: _Fig6Task) -> Fig6Point:
@@ -151,8 +171,22 @@ def _fig6_set_point(task: _Fig6Task) -> Fig6Point:
     )
     abg_policy = AControl(task.convergence_rate)
     agreedy_policy = AGreedy(task.responsiveness, task.utilization_threshold)
-    m_abg, r_abg = _run_set(sample, abg_policy, task.processors, task.quantum_length)
-    m_ag, r_ag = _run_set(sample, agreedy_policy, task.processors, task.quantum_length)
+    m_abg, r_abg = _run_set(
+        sample,
+        abg_policy,
+        task.processors,
+        task.quantum_length,
+        group_size=task.group_size,
+        shards=task.shards,
+    )
+    m_ag, r_ag = _run_set(
+        sample,
+        agreedy_policy,
+        task.processors,
+        task.quantum_length,
+        group_size=task.group_size,
+        shards=task.shards,
+    )
     return Fig6Point(
         load=sample.load,
         num_jobs=len(sample.jobs),
@@ -188,6 +222,8 @@ def run_fig6(
     journal: "CheckpointJournal | None" = None,
     retries: int | None = None,
     task_timeout: float | None = None,
+    group_size: int | None = None,
+    shards: "int | Literal['auto'] | None" = None,
 ) -> Fig6Result:
     """Run the Figure 6 sweep: ``num_sets`` batched job sets with target
     loads drawn uniformly from ``load_range``.
@@ -197,11 +233,21 @@ def run_fig6(
     with bit-identical results (``0`` = all cores).  An optional ``journal``
     checkpoints each completed set so an interrupted sweep resumes where it
     stopped; ``retries``/``task_timeout`` bound per-unit failures.
+    ``group_size`` runs every set under hierarchical allocation instead of
+    centralized DEQ, and ``shards`` dispatches each set's quantum loop over
+    that many shard workers — both leave every figure byte-identical to the
+    equivalent unsharded run (sharding is an execution strategy, not a
+    scheduling policy; hierarchical allocation is a policy and changes the
+    numbers, deterministically).
     """
     if num_sets < 1:
         raise ValueError("need at least one job set")
     if not (0 < load_range[0] <= load_range[1]):
         raise ValueError("invalid load range")
+    if group_size is not None and group_size < 1:
+        raise ValueError("group size must be >= 1")
+    if shards is not None and shards != "auto" and int(shards) < 1:
+        raise ValueError("shard count must be >= 1")
     tasks = [
         _Fig6Task(
             index=i,
@@ -213,6 +259,8 @@ def run_fig6(
             utilization_threshold=utilization_threshold,
             factor_range=factor_range,
             seed=seed,
+            group_size=group_size,
+            shards=shards,
         )
         for i in range(num_sets)
     ]

@@ -7,9 +7,9 @@ The package turns "the traces changed" into a deterministic verdict:
   path, and writes versioned golden bundles with provenance and a content
   digest (``python -m repro record-traces``);
 - **replay** (:mod:`repro.goldens.verify`) re-executes every committed
-  fixture on all three execution paths — serial, batched, superstep — and
-  reports the *first diverging quantum* with a field-level diff
-  (``python -m repro verify-traces``);
+  fixture on all four execution paths — serial, batched, superstep,
+  sharded — and reports the *first diverging quantum* with a field-level
+  diff (``python -m repro verify-traces``);
 - **shrink** (:mod:`repro.goldens.shrink`) delta-debugs a failing job set
   over jobs, phases, and quantum horizon down to a minimal reproduction,
   emitting a ready-to-commit regression fixture.
@@ -24,10 +24,12 @@ from .diff import FieldDiff, TraceDivergence, first_divergence
 from .record import (
     DEFAULT_FIXTURE_DIR,
     check_freshness,
+    dag_scenario,
     default_scenarios,
     fixture_paths,
     record_bundle,
     record_fixtures,
+    record_stale_fixtures,
     scenario_from_fig6,
 )
 from .shrink import (
@@ -45,10 +47,12 @@ __all__ = [
     "first_divergence",
     "DEFAULT_FIXTURE_DIR",
     "check_freshness",
+    "dag_scenario",
     "default_scenarios",
     "fixture_paths",
     "record_bundle",
     "record_fixtures",
+    "record_stale_fixtures",
     "scenario_from_fig6",
     "ShrinkResult",
     "cross_path_divergence",

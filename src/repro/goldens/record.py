@@ -36,14 +36,16 @@ from ..sim.replay import replay_path
 from ..verify.findings import LintFinding, RULES
 from ..workloads.arrivals import staggered_releases
 from ..workloads.jobsets import JobSetGenerator
-from .spec import SPEC_SCHEMA_VERSION, ExplicitJob, ScenarioSpec
+from .spec import ExplicitJob, ScenarioSpec
 
 __all__ = [
     "DEFAULT_FIXTURE_DIR",
     "scenario_from_fig6",
+    "dag_scenario",
     "default_scenarios",
     "record_bundle",
     "record_fixtures",
+    "record_stale_fixtures",
     "fixture_paths",
     "check_freshness",
 ]
@@ -112,14 +114,109 @@ def _default_params(policy: str) -> dict[str, float]:
     return {"responsiveness": 2.0, "utilization_threshold": 0.8}
 
 
+def _layered_edges(
+    rng: np.random.Generator,
+    *,
+    num_levels: int,
+    min_width: int,
+    max_width: int,
+    structure: str,
+) -> tuple[int, tuple[tuple[int, int], ...]]:
+    """``(num_tasks, edges)`` of one random layered unit-task dag.
+
+    ``structure="barrier"`` fully connects adjacent levels, which keeps the
+    dag level-major (every level a barrier level) so the batched dag kernel
+    applies.  ``structure="irregular"`` gives every task one anchor parent
+    plus sparse extra edges — generally *not* level-major, the shape the
+    reference heap engine exists for.  Randomness lives here, at authoring
+    time only: the returned edge list is stored explicitly in the fixture.
+    """
+    widths = rng.integers(min_width, max_width + 1, size=num_levels)
+    starts = np.concatenate([[0], np.cumsum(widths)])
+    edges: list[tuple[int, int]] = []
+    for lvl in range(1, num_levels):
+        prev = range(int(starts[lvl - 1]), int(starts[lvl]))
+        cur = range(int(starts[lvl]), int(starts[lvl + 1]))
+        for v in cur:
+            if structure == "barrier":
+                edges.extend((u, v) for u in prev)
+                continue
+            anchor = int(rng.integers(starts[lvl - 1], starts[lvl]))
+            edges.append((anchor, v))
+            for u in prev:
+                if u != anchor and rng.random() < 0.35:
+                    edges.append((u, v))
+    return int(starts[-1]), tuple(edges)
+
+
+def dag_scenario(
+    scenario_id: str,
+    *,
+    seed: int,
+    index: int = 0,
+    num_jobs: int = 6,
+    processors: int = 16,
+    quantum_length: int = 10,
+    num_levels: tuple[int, int] = (40, 80),
+    width_range: tuple[int, int] = (1, 6),
+    structure: str = "barrier",
+    engine: str = "auto",
+    policy: str = "abg",
+    policy_params: Mapping[str, float] | None = None,
+    allocator: str = "deq",
+    release_gap: int = 0,
+    max_quanta: int = 200_000,
+) -> ScenarioSpec:
+    """Materialize a dag-structured scenario (schema 2 fixture).
+
+    Each job is a random layered unit-task dag flattened into an explicit
+    edge list — see :func:`_layered_edges` for the two structures.  With
+    ``engine="reference"`` the jobs are non-batchable, so the fixture
+    exercises the serial loop's fallback executors and the replay
+    harness's ``sharded``-path skip.
+    """
+    rng = np.random.default_rng([seed, index])
+    releases = staggered_releases(num_jobs, release_gap)
+    jobs = tuple(
+        ExplicitJob(
+            job_id=i,
+            release_time=releases[i],
+            dag=_layered_edges(
+                rng,
+                num_levels=int(rng.integers(num_levels[0], num_levels[1] + 1)),
+                min_width=width_range[0],
+                max_width=width_range[1],
+                structure=structure,
+            ),
+            engine=engine,
+        )
+        for i in range(num_jobs)
+    )
+    params = policy_params if policy_params is not None else _default_params(policy)
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        policy=policy,
+        policy_params=tuple(sorted(params.items())),
+        allocator=allocator,
+        processors=processors,
+        quantum_length=quantum_length,
+        max_quanta=max_quanta,
+        jobs=jobs,
+    )
+
+
 def default_scenarios() -> tuple[ScenarioSpec, ...]:
     """The committed fixture registry.
 
     Small machines and short quanta keep fixtures a few hundred KB and
     replays sub-second, while still covering the regimes that matter:
     light load (allotments track requests), saturated load (DEQ waterfall
-    + rotation active), the AGreedy policy, the round-robin allocator, and
-    staggered arrivals (admission at quantum boundaries).
+    + rotation active), the AGreedy policy, the round-robin allocator,
+    staggered arrivals (admission at quantum boundaries), dag-structured
+    jobs on the batched dag kernel (barrier-layered, level-major), and
+    non-batchable dag jobs pinned to the reference heap engine (the serial
+    loop's fallback path; the replay harness skips the ``sharded`` path
+    for that fixture).
     """
     return (
         scenario_from_fig6(
@@ -165,6 +262,20 @@ def default_scenarios() -> tuple[ScenarioSpec, ...]:
             load_range=(1.5, 2.5),
             release_gap=600,
         ),
+        dag_scenario(
+            "dag-barrier-abg",
+            seed=2008,
+            index=6,
+            structure="barrier",
+        ),
+        dag_scenario(
+            "dag-reference-agreedy",
+            seed=2008,
+            index=7,
+            structure="irregular",
+            engine="reference",
+            policy="agreedy",
+        ),
     )
 
 
@@ -187,18 +298,21 @@ def record_bundle(
         max_quanta=spec.max_quanta,
         path="serial",
     )
+    scenario = spec.to_dict()
     provenance: dict[str, Any] = {
         "recorded_rev": current_rev(),
         "golden_schema": GOLDEN_SCHEMA_VERSION,
         "trace_schema": SCHEMA_VERSION,
-        "spec_schema": SPEC_SCHEMA_VERSION,
+        # The schema the scenario payload actually uses (``to_dict`` emits
+        # the lowest sufficient version), not the tree's maximum.
+        "spec_schema": scenario["schema"],
         "scenario_id": spec.scenario_id,
         "reference_path": "serial",
     }
     if extra_provenance:
         provenance.update(dict(extra_provenance))
     return GoldenBundle(
-        scenario=spec.to_dict(), traces=dict(result.traces), provenance=provenance
+        scenario=scenario, traces=dict(result.traces), provenance=provenance
     )
 
 
@@ -217,6 +331,65 @@ def record_fixtures(
             save_golden_bundle(directory / f"{spec.scenario_id}.json", bundle)
         )
     return written
+
+
+def record_stale_fixtures(
+    out_dir: str | Path,
+    scenarios: Sequence[ScenarioSpec] | None = None,
+) -> tuple[list[Path], list[Path]]:
+    """Re-record only the stale fixtures — the write-side twin of
+    :func:`check_freshness` (the CLI's ``--record-on-green`` mode).
+
+    A registry fixture is *stale* when its file is missing or unreadable,
+    its stored scenario no longer matches the registry's materialization,
+    or its digest differs from a fresh recording.  Extra fixtures beyond
+    the registry (shrinker-emitted regressions) are re-recorded from their
+    *stored* scenarios when their digest drifted, and left alone when
+    unreadable (``check_freshness`` surfaces those as findings).  Fresh
+    fixtures are never rewritten, so their bytes — including historical
+    ``recorded_rev`` provenance — stay untouched.
+
+    Returns ``(written, skipped)`` paths, each in deterministic order.
+    """
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    registry = tuple(scenarios) if scenarios is not None else default_scenarios()
+    written: list[Path] = []
+    skipped: list[Path] = []
+    registry_files: set[str] = set()
+    for spec in registry:
+        path = directory / f"{spec.scenario_id}.json"
+        registry_files.add(path.name)
+        fresh = record_bundle(spec)
+        stale = True
+        if path.exists():
+            try:
+                bundle = load_golden_bundle(path)
+            except ValueError:
+                pass
+            else:
+                stale = (
+                    bundle.scenario != fresh.scenario
+                    or bundle.digest != fresh.digest
+                )
+        if stale:
+            written.append(save_golden_bundle(path, fresh))
+        else:
+            skipped.append(path)
+    for path in fixture_paths(directory):
+        if path.name in registry_files:
+            continue
+        try:
+            bundle = load_golden_bundle(path)
+            stored = ScenarioSpec.from_dict(bundle.scenario)
+        except ValueError:
+            continue
+        fresh = record_bundle(stored)
+        if fresh.digest != bundle.digest:
+            written.append(save_golden_bundle(path, fresh))
+        else:
+            skipped.append(path)
+    return written, skipped
 
 
 def fixture_paths(fixture_dir: str | Path) -> list[Path]:

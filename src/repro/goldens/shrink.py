@@ -53,14 +53,22 @@ Predicate = Callable[[ScenarioSpec], TraceDivergence | None]
 
 
 def cross_path_divergence(spec: ScenarioSpec) -> TraceDivergence | None:
-    """First divergence of the batched/superstep paths from serial, if any.
+    """First divergence of the batched/superstep/sharded paths from serial.
 
     Self-contained (no golden needed), so it can judge arbitrary job
     subsets.  Paths are checked in order and the earliest divergence of
-    the first disagreeing path is returned.
+    the first disagreeing path is returned.  The sharded path joins the
+    comparison only when every job in the candidate is batchable (its
+    executor refuses non-batchable jobs rather than falling back).
     """
+    from ..sim.multi_batched import segment_profile
+
+    paths = ["serial", "batched", "superstep"]
+    probe, _ = spec.build()
+    if all(segment_profile(s, strict=False) is not None for s in probe):
+        paths.append("sharded")
     reference: Mapping[int, Any] | None = None
-    for path in ("serial", "batched", "superstep"):
+    for path in paths:
         specs, allocator = spec.build()
         result = replay_path(
             specs,

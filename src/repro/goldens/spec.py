@@ -1,18 +1,24 @@
 """Scenario specifications: everything a golden fixture needs to re-execute.
 
 A :class:`ScenarioSpec` pins one multiprogrammed run completely — the job
-set (explicit fork-join phase lists with release times), the feedback
-policy and its parameters, the allocator, the machine size, and the
-quantum length.  Committed fixtures always carry *explicit* job sets, so
-replaying them is RNG-free: a fixture's behaviour can never drift with a
-numpy version or a generator change.  Randomized (fig6-style) scenarios
-are materialized into this form at authoring time by
-:mod:`repro.goldens.record`.
+set (explicit fork-join phase lists or explicit unit-task dags, with
+release times), the feedback policy and its parameters, the allocator, the
+machine size, and the quantum length.  Committed fixtures always carry
+*explicit* job sets, so replaying them is RNG-free: a fixture's behaviour
+can never drift with a numpy version or a generator change.  Randomized
+(fig6-style) scenarios are materialized into this form at authoring time
+by :mod:`repro.goldens.record`.
 
 ``to_dict``/``from_dict`` round-trip the spec through the JSON scenario
 payload embedded in a golden bundle; ``from_dict`` validates every field
 and raises :class:`ValueError` naming the offending path, mirroring the
 hardened trace loaders in :mod:`repro.io.traces`.
+
+Schema versions: schema 1 carries fork-join phase lists only; schema 2
+adds dag-structured jobs (an explicit edge list plus a pinned engine).
+``to_dict`` emits the *lowest* sufficient schema — a phased-only scenario
+still serializes as schema 1, byte-identical to fixtures recorded before
+dag support existed, so committed digests never churn on a schema bump.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from ..allocators.roundrobin import RoundRobinAllocator
 from ..core.abg import AControl
 from ..core.agreedy import AGreedy
 from ..core.feedback import FeedbackPolicy
+from ..dag.graph import Dag
 from ..engine.phased import PhasedJob
 from ..sim.jobs import JobSpec
 
@@ -33,11 +40,19 @@ __all__ = [
     "SPEC_SCHEMA_VERSION",
     "POLICY_PARAMS",
     "ALLOCATOR_NAMES",
+    "DAG_ENGINES",
     "ExplicitJob",
     "ScenarioSpec",
 ]
 
-SPEC_SCHEMA_VERSION = 1
+#: The highest scenario schema this tree can read and write.
+SPEC_SCHEMA_VERSION = 2
+
+#: Engines a dag job may pin (mirrors :data:`repro.sim.jobs.EngineChoice`).
+#: ``"reference"`` forces the step-accurate heap engine, which makes the
+#: job non-batchable — the replay harness skips the ``sharded`` path for
+#: such scenarios and exercises the fallback loop on the others.
+DAG_ENGINES: tuple[str, ...] = ("auto", "batched", "reference")
 
 #: policy name -> the constructor keyword arguments it accepts.
 POLICY_PARAMS: dict[str, tuple[str, ...]] = {
@@ -58,32 +73,77 @@ def _require_int(value: Any, path: str, *, minimum: int | None = None) -> int:
 
 @dataclass(frozen=True, slots=True)
 class ExplicitJob:
-    """One materialized fork-join job: id, release time, phase list."""
+    """One materialized job: id, release time, and explicit structure.
+
+    Structure is exactly one of ``phases`` (a fork-join phase list — the
+    schema-1 form) or ``dag`` (``(num_tasks, edges)`` for a unit-task dag,
+    with ``engine`` pinning how it executes — schema 2).  Phased jobs keep
+    ``engine="auto"``: the simulator always runs them on the closed-form
+    phased engine, so a pinned engine would be dead weight in the payload.
+    """
 
     job_id: int
     release_time: int
-    phases: tuple[tuple[int, int], ...]
+    phases: tuple[tuple[int, int], ...] = ()
+    dag: tuple[int, tuple[tuple[int, int], ...]] | None = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
             raise ValueError("job id must be non-negative")
         if self.release_time < 0:
             raise ValueError("release time must be non-negative")
-        if not self.phases:
-            raise ValueError(f"job {self.job_id} has no phases")
+        if bool(self.phases) == (self.dag is not None):
+            raise ValueError(
+                f"job {self.job_id} needs exactly one of phases or dag"
+            )
+        if self.engine not in DAG_ENGINES:
+            raise ValueError(
+                f"job {self.job_id} has unknown engine {self.engine!r}; "
+                f"pick one of {DAG_ENGINES}"
+            )
         for width, levels in self.phases:
             if width < 1 or levels < 1:
                 raise ValueError(
                     f"job {self.job_id} has a non-positive phase "
                     f"({width}, {levels})"
                 )
+        if self.dag is not None:
+            # Constructing the dag runs the full validation suite (range,
+            # self-loop, cycle) and pins the errors to this job.
+            try:
+                Dag(self.dag[0], self.dag[1])
+            except ValueError as exc:
+                raise ValueError(
+                    f"job {self.job_id} has an invalid dag: {exc}"
+                ) from None
+        elif self.engine != "auto":
+            raise ValueError(
+                f"job {self.job_id} pins engine {self.engine!r} without a dag"
+            )
+
+    def description(self) -> PhasedJob | Dag:
+        """The re-instantiable job description a :class:`JobSpec` accepts."""
+        if self.dag is not None:
+            return Dag(self.dag[0], self.dag[1])
+        return PhasedJob(self.phases)
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        # Key order matters for fixture bytes: phased jobs must serialize
+        # exactly as schema 1 always did.
+        payload: dict[str, Any] = {
             "job_id": self.job_id,
             "release_time": self.release_time,
-            "phases": [list(p) for p in self.phases],
         }
+        if self.dag is None:
+            payload["phases"] = [list(p) for p in self.phases]
+        else:
+            payload["dag"] = {
+                "num_tasks": self.dag[0],
+                "edges": [list(e) for e in self.dag[1]],
+            }
+            payload["engine"] = self.engine
+        return payload
 
     @classmethod
     def from_payload(cls, raw: Any, *, where: str) -> "ExplicitJob":
@@ -91,24 +151,62 @@ class ExplicitJob:
             raise ValueError(
                 f"field {where} must be an object, got {type(raw).__name__}"
             )
-        for name in ("job_id", "release_time", "phases"):
+        for name in ("job_id", "release_time"):
             if name not in raw:
                 raise ValueError(f"missing field {where}.{name}")
-        phases_raw = raw["phases"]
-        if not isinstance(phases_raw, list) or not phases_raw:
-            raise ValueError(f"field {where}.phases must be a non-empty list")
-        phases: list[tuple[int, int]] = []
-        for i, pair in enumerate(phases_raw):
-            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
-                raise ValueError(
-                    f"field {where}.phases[{i}] must be a [width, levels] pair"
-                )
-            phases.append(
-                (
-                    _require_int(pair[0], f"{where}.phases[{i}][0]", minimum=1),
-                    _require_int(pair[1], f"{where}.phases[{i}][1]", minimum=1),
-                )
+        if ("phases" in raw) == ("dag" in raw):
+            raise ValueError(
+                f"field {where} must carry exactly one of phases or dag"
             )
+        phases: list[tuple[int, int]] = []
+        dag: tuple[int, tuple[tuple[int, int], ...]] | None = None
+        engine = "auto"
+        if "phases" in raw:
+            phases_raw = raw["phases"]
+            if not isinstance(phases_raw, list) or not phases_raw:
+                raise ValueError(f"field {where}.phases must be a non-empty list")
+            for i, pair in enumerate(phases_raw):
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise ValueError(
+                        f"field {where}.phases[{i}] must be a [width, levels] pair"
+                    )
+                phases.append(
+                    (
+                        _require_int(pair[0], f"{where}.phases[{i}][0]", minimum=1),
+                        _require_int(pair[1], f"{where}.phases[{i}][1]", minimum=1),
+                    )
+                )
+        else:
+            dag_raw = raw["dag"]
+            if not isinstance(dag_raw, dict):
+                raise ValueError(f"field {where}.dag must be an object")
+            for name in ("num_tasks", "edges"):
+                if name not in dag_raw:
+                    raise ValueError(f"missing field {where}.dag.{name}")
+            edges_raw = dag_raw["edges"]
+            if not isinstance(edges_raw, list):
+                raise ValueError(f"field {where}.dag.edges must be a list")
+            edges: list[tuple[int, int]] = []
+            for i, pair in enumerate(edges_raw):
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise ValueError(
+                        f"field {where}.dag.edges[{i}] must be a "
+                        "[parent, child] pair"
+                    )
+                edges.append(
+                    (
+                        _require_int(pair[0], f"{where}.dag.edges[{i}][0]", minimum=0),
+                        _require_int(pair[1], f"{where}.dag.edges[{i}][1]", minimum=0),
+                    )
+                )
+            dag = (
+                _require_int(dag_raw["num_tasks"], f"{where}.dag.num_tasks", minimum=1),
+                tuple(edges),
+            )
+            engine_raw = raw.get("engine", "auto")
+            if not isinstance(engine_raw, str):
+                raise ValueError(f"field {where}.engine must be a string")
+            engine = engine_raw
         try:
             return cls(
                 job_id=_require_int(raw["job_id"], f"{where}.job_id", minimum=0),
@@ -116,6 +214,8 @@ class ExplicitJob:
                     raw["release_time"], f"{where}.release_time", minimum=0
                 ),
                 phases=tuple(phases),
+                dag=dag,
+                engine=engine,
             )
         except ValueError as exc:
             raise ValueError(f"invalid job at {where}: {exc}") from None
@@ -203,10 +303,11 @@ class ScenarioSpec:
         policy = self.build_policy()
         specs = [
             JobSpec(
-                job=PhasedJob(job.phases),
+                job=job.description(),
                 feedback=policy,
                 release_time=job.release_time,
                 job_id=job.job_id,
+                engine=job.engine,  # type: ignore[arg-type]
             )
             for job in self.jobs
         ]
@@ -218,8 +319,12 @@ class ScenarioSpec:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
+        # Emit the lowest sufficient schema: phased-only scenarios keep
+        # serializing as schema 1 so fixtures recorded before dag support
+        # stay byte-identical (and their digests stable).
+        schema = 2 if any(job.dag is not None for job in self.jobs) else 1
         payload: dict[str, Any] = {
-            "schema": SPEC_SCHEMA_VERSION,
+            "schema": schema,
             "scenario_id": self.scenario_id,
             "policy": self.policy,
             "policy_params": {name: value for name, value in self.policy_params},
@@ -239,9 +344,10 @@ class ScenarioSpec:
             raise ValueError(
                 f"field {where} must be an object, got {type(data).__name__}"
             )
-        if data.get("schema") != SPEC_SCHEMA_VERSION:
+        schema = data.get("schema")
+        if schema not in (1, SPEC_SCHEMA_VERSION):
             raise ValueError(
-                f"unsupported scenario schema {data.get('schema')!r} at {where}"
+                f"unsupported scenario schema {schema!r} at {where}"
             )
         for name in (
             "scenario_id",
@@ -283,6 +389,11 @@ class ScenarioSpec:
             ExplicitJob.from_payload(raw, where=f"{where}.jobs[{i}]")
             for i, raw in enumerate(jobs_raw)
         )
+        if schema == 1 and any(job.dag is not None for job in jobs):
+            raise ValueError(
+                f"field {where}.jobs carries dag jobs but declares schema 1 "
+                "(dag jobs require schema 2)"
+            )
         horizon_raw = data.get("horizon")
         horizon = (
             None

@@ -66,7 +66,7 @@ from ..core.types import JobTrace, QuantumRecord, integer_request
 from ..engine.base import JobExecutor
 from .jobs import JobSpec, make_executor
 from .metrics import makespan, mean_response_time
-from .multi_batched import MultiBatchKernel, segment_profile
+from .multi_batched import MultiBatchKernel, QuantumBatch, segment_profile
 from .single import run_quantum_with_overhead
 from .superstep import QuantumGroup, QuantumLog
 
@@ -134,6 +134,72 @@ def _scalar_feedback(
             start_step=start_step,
         )
         kernel.request[pos] = slot.policy.next_request(record)
+
+
+def _batch_feedback(
+    kernel: MultiBatchKernel,
+    group: QuantumGroup,
+    req_int: np.ndarray,
+    alloc_arr: np.ndarray,
+    batch_out: QuantumBatch,
+    finished_pos: list[int],
+    length: int,
+    start: int,
+) -> bool:
+    """Post-quantum feedback over the kernel's slots, vectorized per policy
+    instance (experiment job sets share one policy object across jobs, so
+    the common case is one whole-array batch call); returns whether any
+    slot fell back to scalar feedback.  Requests computed for slots that
+    just finished are discarded with the slot, exactly like the serial
+    loop, which never updates a finished job's request.
+    """
+    nk = len(kernel)
+    scalar_fb = False
+    uniform = kernel.uniform_policy
+    if uniform is not None:
+        nxt = uniform.next_request_batch(
+            request=kernel.request,
+            request_int=req_int,
+            allotment=alloc_arr,
+            work=batch_out.work,
+            span=batch_out.span,
+            steps=batch_out.steps,
+        )
+        if nxt is None:
+            scalar_fb = True
+            fin_set = set(finished_pos)
+            _scalar_feedback(
+                kernel,
+                [pos for pos in range(nk) if pos not in fin_set],
+                group,
+                length,
+                start,
+            )
+        else:
+            kernel.request = nxt
+    else:
+        groups: dict[int, list[int]] = {}
+        fin_set = set(finished_pos)
+        for pos in range(nk):
+            if pos not in fin_set:
+                groups.setdefault(id(kernel.slots[pos].policy), []).append(pos)
+        for positions in groups.values():
+            policy = kernel.slots[positions[0]].policy
+            sub = np.asarray(positions, dtype=np.int64)
+            nxt = policy.next_request_batch(
+                request=kernel.request[sub],
+                request_int=req_int[sub],
+                allotment=alloc_arr[sub],
+                work=batch_out.work[sub],
+                span=batch_out.span[sub],
+                steps=batch_out.steps[sub],
+            )
+            if nxt is None:
+                scalar_fb = True
+                _scalar_feedback(kernel, positions, group, length, start)
+            else:
+                kernel.request[sub] = nxt
+    return scalar_fb
 
 
 def _requests_hold(
@@ -273,6 +339,9 @@ def simulate_job_set(
     strict: bool = False,
     batch: BatchChoice = "auto",
     superstep: SuperstepChoice | None = None,
+    shards: int | Literal["auto"] | None = None,
+    task_timeout: float | None = None,
+    retries: int | None = None,
 ) -> MultiJobResult:
     """Run a job set to completion under a multiprogrammed allocator.
 
@@ -283,6 +352,15 @@ def simulate_job_set(
     on top of it (see the module docstring); results do not depend on either.
     ``superstep=None`` (the default) resolves to :data:`SUPERSTEP_ENV_VAR`
     if set, else ``"auto"``.
+
+    ``shards`` selects the *sharded* executor (:mod:`repro.sim.sharded`):
+    ``None`` or ``1`` runs the centralized per-quantum loop below; ``N >= 2``
+    (or ``"auto"`` for one worker per core) advances each allocation group in
+    a window of quanta per supervised worker dispatch, meeting at the
+    rebalancing/admission barriers.  Traces are byte-identical either way —
+    sharding, like batching and supersteps, is an execution choice, not a
+    policy choice.  ``task_timeout``/``retries`` apply to the sharded
+    dispatch only (they thread through ``runtime.run_supervised``).
     """
     if superstep is None:
         superstep = cast(
@@ -300,7 +378,32 @@ def simulate_job_set(
         raise ValueError(
             f"unknown superstep mode {superstep!r}; pick 'auto' or 'off'"
         )
+    if shards is not None and shards != "auto":
+        if not isinstance(shards, int):
+            raise ValueError(f"unknown shards mode {shards!r}; pick 'auto' or N >= 1")
+        if shards < 1:
+            raise ValueError("shard count must be >= 1 (or 'auto')")
+    if shards == "auto" or (isinstance(shards, int) and shards > 1):
+        if batch == "off":
+            raise ValueError(
+                "sharded execution runs on the batched kernel; "
+                "batch='off' requires shards=None or 1"
+            )
+        from .sharded import simulate_job_set_sharded
 
+        return simulate_job_set_sharded(
+            specs,
+            allocator,
+            processors,
+            quantum_length=quantum_length,
+            max_quanta=max_quanta,
+            overhead=overhead,
+            strict=strict,
+            superstep=superstep,
+            shards=shards,
+            task_timeout=task_timeout,
+            retries=retries,
+        )
     pending: list[tuple[int, int, JobSpec]] = []  # (release, id, spec)
     seen_ids: set[int] = set()
     for i, spec in enumerate(specs):
@@ -456,57 +559,10 @@ def simulate_job_set(
             )
             kernel.bump_quantum()
             finished_pos = np.flatnonzero(batch_out.finished).tolist()
-            # Feedback, vectorized per policy instance (experiment job sets
-            # share one policy object across jobs, so the common case is one
-            # whole-array batch call).  Requests computed for slots that just
-            # finished are discarded with the slot, exactly like the serial
-            # loop, which never updates a finished job's request.
-            uniform = kernel.uniform_policy
-            if uniform is not None:
-                nxt = uniform.next_request_batch(
-                    request=kernel.request,
-                    request_int=kernel_req_int,
-                    allotment=alloc_arr,
-                    work=batch_out.work,
-                    span=batch_out.span,
-                    steps=batch_out.steps,
-                )
-                if nxt is None:
-                    scalar_fb = True
-                    fin_set = set(finished_pos)
-                    _scalar_feedback(
-                        kernel,
-                        [pos for pos in range(nk) if pos not in fin_set],
-                        group,
-                        L,
-                        t,
-                    )
-                else:
-                    kernel.request = nxt
-            else:
-                groups: dict[int, list[int]] = {}
-                fin_set = set(finished_pos)
-                for pos in range(nk):
-                    if pos not in fin_set:
-                        groups.setdefault(id(kernel.slots[pos].policy), []).append(
-                            pos
-                        )
-                for positions in groups.values():
-                    policy = kernel.slots[positions[0]].policy
-                    sub = np.asarray(positions, dtype=np.int64)
-                    nxt = policy.next_request_batch(
-                        request=kernel.request[sub],
-                        request_int=kernel_req_int[sub],
-                        allotment=alloc_arr[sub],
-                        work=batch_out.work[sub],
-                        span=batch_out.span[sub],
-                        steps=batch_out.steps[sub],
-                    )
-                    if nxt is None:
-                        scalar_fb = True
-                        _scalar_feedback(kernel, positions, group, L, t)
-                    else:
-                        kernel.request[sub] = nxt
+            scalar_fb = _batch_feedback(
+                kernel, group, kernel_req_int, alloc_arr, batch_out,
+                finished_pos, L, t,
+            )
             for pos in finished_pos:
                 slot = kernel.slots[pos]
                 finished_jobs.append((slot.seq, slot.jid, slot.trace))

@@ -63,7 +63,7 @@ from ..verify.violations import (
 from .jobs import JobSpec
 from .superstep import SuperstepArena, SuperstepPlan, pure_quantum_counts
 
-__all__ = ["MultiBatchKernel", "QuantumBatch", "segment_profile"]
+__all__ = ["MultiBatchKernel", "QuantumBatch", "SlotState", "segment_profile"]
 
 
 def segment_profile(
@@ -108,6 +108,31 @@ class _Slot:
     spec: JobSpec
     policy: FeedbackPolicy
     trace: JobTrace
+
+
+@dataclass(slots=True)
+class SlotState:
+    """A slot's complete mid-run state, detached from its kernel.
+
+    The sharded executor migrates jobs between per-group kernels at
+    rebalancing barriers by exporting a :class:`SlotState` from one kernel
+    and importing it into another; every field a fresh admission would
+    initialize is carried verbatim, so the migrated job's subsequent quanta
+    are bit-identical to never having moved.
+    """
+
+    jid: int
+    seq: int
+    spec: JobSpec
+    trace: JobTrace
+    request: float
+    cur: int
+    done: int
+    rem: int
+    prev_allot: int
+    next_q: int
+    seg_w: np.ndarray
+    seg_total: np.ndarray
 
 
 @dataclass(frozen=True, slots=True)
@@ -322,6 +347,82 @@ class MultiBatchKernel:
         self.jids = [j for j, k in zip(self.jids, keep) if k]
         self._arena.remove(keep)
         self._dirty = True
+
+    def export_slots(self, positions: list[int]) -> list[SlotState]:
+        """Detach the given slots (for migration to another group kernel),
+        removing them from this kernel; arrays are copied, so the states
+        stay valid across the arena compaction."""
+        arena = self._arena
+        states: list[SlotState] = []
+        for pos in positions:
+            slot = self.slots[pos]
+            off = int(arena.seg_off[pos])
+            ln = int(arena.seg_len[pos])
+            states.append(
+                SlotState(
+                    jid=slot.jid,
+                    seq=slot.seq,
+                    spec=slot.spec,
+                    trace=slot.trace,
+                    request=float(arena.request[pos]),
+                    cur=int(arena.cur[pos]),
+                    done=int(arena.done[pos]),
+                    rem=int(arena.rem[pos]),
+                    prev_allot=int(arena.prev_allot[pos]),
+                    next_q=int(arena.next_q[pos]),
+                    seg_w=arena.seg_w[off : off + ln].copy(),
+                    seg_total=arena.seg_total[off : off + ln].copy(),
+                )
+            )
+        self.remove(positions)
+        return states
+
+    def import_slot(self, state: SlotState) -> None:
+        """Admit a migrated slot with its mid-run state intact (the inverse
+        of :meth:`export_slots`)."""
+        self.slots.append(
+            _Slot(
+                jid=state.jid,
+                seq=state.seq,
+                spec=state.spec,
+                policy=state.spec.feedback,
+                trace=state.trace,
+            )
+        )
+        self.jids.append(state.jid)
+        pid = id(state.spec.feedback)
+        self._policy_counts[pid] = self._policy_counts.get(pid, 0) + 1
+        arena = self._arena
+        arena.admit(
+            request=state.request, seg_w=state.seg_w, seg_total=state.seg_total
+        )
+        row = arena.n - 1
+        arena.cur[row] = state.cur
+        arena.done[row] = state.done
+        arena.rem[row] = state.rem
+        arena.prev_allot[row] = state.prev_allot
+        arena.next_q[row] = state.next_q
+        self._dirty = True
+
+    # -- pickling (sharded worker round trips) --------------------------
+    # ``_policy_counts`` is keyed on object identity, which does not survive
+    # a pickle; rebuild it from the slots on the other side.
+
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_policy_counts"
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        counts: dict[int, int] = {}
+        for slot in self.slots:
+            pid = id(slot.policy)
+            counts[pid] = counts.get(pid, 0) + 1
+        self._policy_counts = counts
 
     def _repack(self) -> None:
         """Rebuild the sorted-id allocation-order cache (segment tables no

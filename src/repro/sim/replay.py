@@ -1,13 +1,14 @@
 """Execution-path replay hooks for the golden-trace harness.
 
-The multiprogrammed simulator has three execution paths that are
+The multiprogrammed simulator has four execution paths that are
 bit-identical by contract: the serial per-job reference loop, the batched
-numpy kernel, and the kernel with multi-quantum superstep fast-forwarding
-on top.  :func:`replay_path` pins one of them explicitly — including
-``superstep`` — so a replay can never be perturbed by the ambient
-:data:`~repro.sim.multi.SUPERSTEP_ENV_VAR` override.  One golden fixture
-replayed through all three paths therefore proves three-way identity
-against the recorded reference run.
+numpy kernel, the kernel with multi-quantum superstep fast-forwarding on
+top, and the windowed sharded executor dispatching per-group windows
+through supervised workers.  :func:`replay_path` pins one of them
+explicitly — including ``superstep`` — so a replay can never be perturbed
+by the ambient :data:`~repro.sim.multi.SUPERSTEP_ENV_VAR` override.  One
+golden fixture replayed through all four paths therefore proves four-way
+identity against the recorded reference run.
 """
 
 from __future__ import annotations
@@ -21,13 +22,17 @@ from .multi import BatchChoice, MultiJobResult, SuperstepChoice, simulate_job_se
 __all__ = ["EXECUTION_PATHS", "PATH_MODES", "replay_path"]
 
 #: The replayable execution paths, in reference-first order.
-EXECUTION_PATHS: tuple[str, ...] = ("serial", "batched", "superstep")
+EXECUTION_PATHS: tuple[str, ...] = ("serial", "batched", "superstep", "sharded")
 
-#: path name -> ``(batch, superstep)`` mode pair of :func:`simulate_job_set`.
-PATH_MODES: dict[str, tuple[BatchChoice, SuperstepChoice]] = {
-    "serial": ("off", "off"),
-    "batched": ("auto", "off"),
-    "superstep": ("auto", "auto"),
+#: path name -> ``(batch, superstep, shards)`` modes of
+#: :func:`simulate_job_set`.  The sharded path pins two shards — enough to
+#: exercise the window barriers and the pooled worker dispatch without
+#: making fixture replay fork-heavy.
+PATH_MODES: dict[str, tuple[BatchChoice, SuperstepChoice, int | None]] = {
+    "serial": ("off", "off", None),
+    "batched": ("auto", "off", None),
+    "superstep": ("auto", "auto", None),
+    "sharded": ("auto", "auto", 2),
 }
 
 
@@ -42,16 +47,16 @@ def replay_path(
 ) -> MultiJobResult:
     """Run a job set to completion on one named execution path.
 
-    ``path`` must be one of :data:`EXECUTION_PATHS`; both the batch backend
-    and the superstep mode are passed explicitly so the environment cannot
-    change what a fixture replay executes.
+    ``path`` must be one of :data:`EXECUTION_PATHS`; the batch backend, the
+    superstep mode, and the shard count are all passed explicitly so the
+    environment cannot change what a fixture replay executes.
     """
     modes = PATH_MODES.get(path)
     if modes is None:
         raise ValueError(
             f"unknown execution path {path!r}; pick one of {EXECUTION_PATHS}"
         )
-    batch, superstep = modes
+    batch, superstep, shards = modes
     return simulate_job_set(
         specs,
         allocator,
@@ -60,4 +65,5 @@ def replay_path(
         max_quanta=max_quanta,
         batch=batch,
         superstep=superstep,
+        shards=shards,
     )

@@ -1,0 +1,437 @@
+"""Sharded execution of one multiprogrammed simulation.
+
+:func:`repro.sim.multi.simulate_job_set` advances the whole machine one
+quantum at a time: one allocation over every active job, one kernel step,
+one feedback pass.  Under a :class:`~repro.allocators.hierarchical.
+HierarchicalAllocator` that loop is needlessly synchronous — each group's
+waterfall reads and writes only group-local state, and membership can only
+change at an admission boundary or a rebalancing boundary.  This module
+exploits that: between barriers, every group advances a whole *window* of
+quanta independently, one supervised worker dispatch per group
+(:func:`repro.runtime.run_supervised` supplies the timeouts, bounded
+retries, and fault injection the experiment fan-out already uses), and the
+coordinator gathers the evolved group states, merges the emitted columnar
+quanta, and runs the membership/rebalancing step before the next window.
+
+Why the results are byte-identical to the flat loop
+---------------------------------------------------
+Every operation a window worker performs is one the flat loop performs on
+the same values in the same order, restricted to the group:
+
+- allocation: the flat path's ``HierarchicalAllocator.allocate_batch``
+  gathers each group's members in sorted-id order and runs the group's
+  inner waterfall against its fixed budget — exactly the call the worker
+  makes directly;
+- execution and feedback: the kernel's chunk math and the policies' batch
+  recurrences are elementwise per slot, so a group-sized call returns the
+  same bits as the group's rows of a machine-wide call;
+- supersteps: a worker fast-forwards its group through quanta whose
+  group-local allocation is a certified fixed point
+  (:meth:`~repro.allocators.base.Allocator.fixed_point_probe`), advancing
+  the inner allocator's state exactly as the skipped per-quantum calls
+  would.  The flat loop, needing *every* group at a fixed point at once,
+  executes those quanta one by one — producing the identical records the
+  superstep emits as one repeat-group.  This is also why sharded execution
+  wins even on one core: one churning group no longer pins the stable
+  groups to per-quantum execution.
+
+Membership changes only at barriers, where the coordinator runs the same
+``begin_window`` front half (sync + rebalance) the flat path's per-quantum
+calls would run, and migrates whole slots between group kernels
+(:meth:`~repro.sim.multi_batched.MultiBatchKernel.export_slots`).  Worker
+count is therefore invisible: groups are dispatched and gathered in group
+order, ``run_supervised`` preserves it, and retried units re-run pure
+inputs (a pool retry re-pickles the coordinator's pristine task; a serial
+fault injects before the unit body runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal, Sequence
+
+import numpy as np
+
+from ..allocators.base import Allocator, validate_allocation_arrays
+from ..allocators.hierarchical import HierarchicalAllocator
+from ..core.overhead import NO_OVERHEAD, ReallocationOverhead
+from ..core.types import JobTrace, integer_request
+from ..runtime.checkpoint import unit_key
+from ..runtime.supervisor import WorkerPool, resolve_workers, run_supervised
+from .jobs import JobSpec
+from .multi_batched import MultiBatchKernel, segment_profile
+from .superstep import QuantumLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .multi import MultiJobResult
+
+__all__ = [
+    "GroupWindowTask",
+    "GroupWindowResult",
+    "run_group_window",
+    "simulate_job_set_sharded",
+]
+
+
+@dataclass(slots=True)
+class GroupWindowTask:
+    """One group's window of quanta: the unit of sharded dispatch."""
+
+    group: int
+    kernel: MultiBatchKernel
+    allocator: Allocator
+    budget: int
+    """The group's processor budget (what its waterfall divides)."""
+    processors: int
+    """Machine-wide ``P`` (caps the records' ``available`` field, exactly
+    as the flat loop computes it)."""
+    quantum_length: int
+    start: int
+    """Machine time at the window's first quantum boundary."""
+    quanta: int
+    """Window length: how many quanta to advance before the barrier."""
+    start_quantum: int
+    """Machine quanta executed before this window (orders finished traces
+    across groups)."""
+    superstep: bool
+    overhead: ReallocationOverhead
+
+
+@dataclass(slots=True)
+class GroupWindowResult:
+    """The evolved group state and everything the window emitted."""
+
+    group: int
+    kernel: MultiBatchKernel
+    allocator: Allocator
+    log: QuantumLog
+    finished: list[tuple[int, int, int, JobTrace]]
+    """``(machine quantum, admission seq, job id, trace)`` per finished
+    job — sorting the union across groups reproduces the flat loop's
+    finished-trace insertion order."""
+    executed: int
+    """Quanta actually executed (< ``quanta`` only if the group emptied)."""
+
+
+def run_group_window(task: GroupWindowTask) -> GroupWindowResult:
+    """Advance one group through its window — the flat loop's per-quantum
+    body, restricted to the group (see the module docstring for why that
+    restriction is bitwise-invisible).
+
+    Mutates the task's kernel/allocator in place and hands them back: under
+    pool dispatch they are this worker's pickled copies, and under serial
+    dispatch fault injection fires before this body runs, so a retried unit
+    always starts from pristine state.
+    """
+    # Local import: repro.sim.multi imports this module lazily, so the
+    # reverse edge must also be deferred to keep import order free.
+    from .multi import _attempt_superstep, _batch_feedback
+
+    kernel = task.kernel
+    allocator = task.allocator
+    L = task.quantum_length
+    log = QuantumLog(L)
+    layout_dirty = True
+    finished: list[tuple[int, int, int, JobTrace]] = []
+    executed = 0
+    t = task.start
+    while executed < task.quanta and len(kernel) > 0:
+        nk = len(kernel)
+        req_int = kernel.integer_requests()
+        ids_sorted, order = kernel.allocation_order()
+        req_sorted = req_int[order]
+        grants = allocator.allocate_batch(ids_sorted, req_sorted, task.budget)
+        if grants is None:  # guarded at simulate entry; defensive here
+            raise ValueError(
+                "sharded execution requires an array-native allocator "
+                "(allocate_batch returned None)"
+            )
+        validate_allocation_arrays(ids_sorted, req_sorted, grants, task.budget)
+        alloc_arr = np.empty(nk, dtype=np.int64)
+        alloc_arr[order] = grants
+        batch_out = kernel.execute_quantum(alloc_arr, L, task.overhead)
+        avail = np.where(alloc_arr < req_int, alloc_arr, task.processors)
+        if layout_dirty:
+            log.set_layout(kernel.jids)
+            layout_dirty = False
+        group = log.append_quantum(
+            start_step=t,
+            repeat=1,
+            index0=kernel.next_q,
+            request=kernel.request,
+            request_int=req_int,
+            available=avail,
+            allotment=alloc_arr,
+            work=batch_out.work,
+            span=batch_out.span,
+            steps=batch_out.steps,
+        )
+        kernel.bump_quantum()
+        finished_pos = np.flatnonzero(batch_out.finished).tolist()
+        scalar_fb = _batch_feedback(
+            kernel, group, req_int, alloc_arr, batch_out, finished_pos, L, t
+        )
+        for pos in finished_pos:
+            slot = kernel.slots[pos]
+            finished.append(
+                (task.start_quantum + executed, slot.seq, slot.jid, slot.trace)
+            )
+        if finished_pos:
+            kernel.remove(finished_pos)
+            layout_dirty = True
+        skipped = 0
+        if (
+            task.superstep
+            and not scalar_fb
+            and not finished_pos
+            and len(kernel) > 0
+        ):
+            skipped = _attempt_superstep(
+                kernel,
+                log,
+                allocator,
+                group,
+                req_int,
+                avail,
+                alloc_arr,
+                task.budget,
+                L,
+                t,
+                next_release=None,  # windows end before the next admission
+                budget=task.quanta - executed - 1,
+            )
+        t += (skipped + 1) * L
+        executed += skipped + 1
+    return GroupWindowResult(
+        group=task.group,
+        kernel=kernel,
+        allocator=allocator,
+        log=log,
+        finished=finished,
+        executed=executed,
+    )
+
+
+def _has_array_path(allocator: Allocator) -> bool:
+    return type(allocator).allocate_batch is not Allocator.allocate_batch
+
+
+def simulate_job_set_sharded(
+    specs: Sequence[JobSpec],
+    allocator: Allocator,
+    processors: int,
+    *,
+    quantum_length: int = 1000,
+    max_quanta: int = 10_000_000,
+    overhead: ReallocationOverhead = NO_OVERHEAD,
+    strict: bool = False,
+    superstep: Literal["auto", "off"] = "auto",
+    shards: int | Literal["auto"] = "auto",
+    task_timeout: float | None = None,
+    retries: int | None = None,
+) -> "MultiJobResult":
+    """Window-barrier sharded twin of
+    :func:`repro.sim.multi.simulate_job_set` (call that with ``shards=`` set
+    rather than this directly).  Byte-identical traces at any shard count.
+
+    Requirements beyond the flat loop's: every job must be batchable (the
+    per-group windows run on the kernel path only) and the allocator must
+    have an array-native ``allocate_batch``.  A
+    :class:`HierarchicalAllocator` shards over its groups; any other
+    array-native allocator runs as a single group spanning the machine
+    (sharding then buys no parallelism, but the windowed path — and its
+    group-local supersteps — still applies, which is what the golden-trace
+    ``sharded`` replay path exercises on the flat-allocator fixtures).
+    """
+    from .multi import MultiJobResult
+
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if quantum_length < 1:
+        raise ValueError("quantum length must be >= 1")
+    if not specs:
+        raise ValueError("job set is empty")
+    if not _has_array_path(allocator):
+        raise ValueError(
+            "sharded execution requires an array-native allocator "
+            f"(no allocate_batch override on {type(allocator).__name__})"
+        )
+    workers = resolve_workers(0 if shards == "auto" else int(shards))
+
+    pending: list[tuple[int, int, JobSpec]] = []
+    seen_ids: set[int] = set()
+    profiles: dict[int, tuple[tuple[int, int], ...]] = {}
+    interned: dict[
+        tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]
+    ] = {}
+    for i, spec in enumerate(specs):
+        jid = spec.job_id if spec.job_id is not None else i
+        if jid in seen_ids:
+            raise ValueError(f"duplicate job id {jid}")
+        seen_ids.add(jid)
+        profile = segment_profile(spec, strict=strict)
+        if profile is None:
+            raise ValueError(
+                f"job {jid} is not batchable; sharded execution requires "
+                "counts-determined jobs (run with shards=None to use the "
+                "fallback path)"
+            )
+        # Intern by value: giant job sets repeat a handful of shapes, and
+        # slots sharing one profile tuple let pickle's memo collapse the
+        # per-window worker payload from O(jobs x segments) to O(shapes).
+        profiles[jid] = interned.setdefault(profile, profile)
+        pending.append((spec.release_time, jid, spec))
+    pending.sort(key=lambda item: (item[0], item[1]))
+    released = {jid: rel for rel, jid, _ in pending}
+
+    hier = allocator if isinstance(allocator, HierarchicalAllocator) else None
+    do_superstep = superstep == "auto"
+    L = quantum_length
+    log = QuantumLog(L)
+    done: dict[int, JobTrace] = {}
+    kernels: list[MultiBatchKernel] = []
+    budgets: list[int] = []
+    if hier is None:
+        kernels.append(MultiBatchKernel(strict=strict))
+        budgets.append(processors)
+    t = 0
+    quanta = 0
+    seq = 0
+    cursor = 0
+
+    # One pool outlives every window barrier: per-window forking would
+    # otherwise dominate the dispatch cost on short windows.
+    shared_pool = WorkerPool(workers) if workers > 1 else None
+    try:
+        while cursor < len(pending) or any(len(k) > 0 for k in kernels):
+            if quanta >= max_quanta:
+                raise RuntimeError(f"job set did not finish within {max_quanta} quanta")
+            # Admissions at this boundary (same order the flat loop admits in).
+            arrivals: list[tuple[int, JobSpec, int]] = []  # (jid, spec, seq)
+            while cursor < len(pending) and pending[cursor][0] <= t:
+                _rel, jid, spec = pending[cursor]
+                cursor += 1
+                arrivals.append((jid, spec, seq))
+                seq += 1
+            if not arrivals and all(len(k) == 0 for k in kernels):
+                next_release = pending[cursor][0]
+                t = max(t + L, ((next_release + L - 1) // L) * L)
+                continue
+
+            # Barrier front half: membership (sync + rebalance) over the active
+            # set including this boundary's arrivals, then slot migration and
+            # admission into the per-group kernels.
+            if hier is not None:
+                id_req: list[tuple[int, int]] = []
+                for kernel in kernels:
+                    id_req.extend(zip(kernel.jids, kernel.integer_requests().tolist()))
+                for jid, spec, _s in arrivals:
+                    id_req.append((jid, integer_request(spec.feedback.first_request())))
+                id_req.sort()
+                ids_arr = np.array([j for j, _ in id_req], dtype=np.int64)
+                req_arr = np.array([r for _, r in id_req], dtype=np.int64)
+                membership = hier.begin_window(ids_arr, req_arr, processors)
+                if not kernels:
+                    kernels.extend(
+                        MultiBatchKernel(strict=strict)
+                        for _ in range(hier.group_count)
+                    )
+                    budgets.extend(hier.group_budgets())
+                for g, kernel in enumerate(kernels):
+                    moving = [
+                        pos
+                        for pos, jid in enumerate(kernel.jids)
+                        if membership[jid] != g
+                    ]
+                    if moving:
+                        for state in kernel.export_slots(moving):
+                            kernels[membership[state.jid]].import_slot(state)
+                group_of = membership
+            else:
+                group_of = {jid: 0 for jid, _spec, _s in arrivals}
+            for jid, spec, s in arrivals:
+                kernels[group_of[jid]].admit(
+                    jid=jid,
+                    seq=s,
+                    spec=spec,
+                    trace=JobTrace(
+                        quantum_length=L, release_time=released[jid], job_id=jid
+                    ),
+                    profile=profiles[jid],
+                    request=spec.feedback.first_request(),
+                )
+
+            # Window length: to the next admission boundary, the next
+            # rebalancing boundary, and the quantum ceiling — whichever is
+            # nearest.  Always >= 1.
+            window = max_quanta - quanta
+            if hier is not None:
+                window = min(window, hier.quanta_to_rebalance())
+            if cursor < len(pending):
+                next_boundary = ((pending[cursor][0] + L - 1) // L) * L
+                window = min(window, (next_boundary - t) // L)
+
+            tasks = [
+                GroupWindowTask(
+                    group=g,
+                    kernel=kernel,
+                    allocator=(
+                        hier.group_allocator(g) if hier is not None else allocator
+                    ),
+                    budget=budgets[g],
+                    processors=processors,
+                    quantum_length=L,
+                    start=t,
+                    quanta=window,
+                    start_quantum=quanta,
+                    superstep=do_superstep,
+                    overhead=overhead,
+                )
+                for g, kernel in enumerate(kernels)
+                if len(kernel) > 0
+            ]
+            keys = [
+                unit_key(
+                    "shard-window",
+                    {"group": task.group, "start": task.start, "quanta": task.quanta},
+                )
+                for task in tasks
+            ]
+            outcome = run_supervised(
+                run_group_window,
+                tasks,
+                workers=min(workers, len(tasks)),
+                keys=keys,
+                task_timeout=task_timeout,
+                retries=retries,
+                pool=shared_pool,
+            )
+            executed = 0
+            window_finished: list[tuple[int, int, int, JobTrace]] = []
+            for result in outcome.results:
+                kernels[result.group] = result.kernel
+                if hier is not None:
+                    hier.set_group_allocator(result.group, result.allocator)
+                else:
+                    allocator = result.allocator
+                log.extend(result.log)
+                window_finished.extend(result.finished)
+                executed = max(executed, result.executed)
+            for _q, _s, jid, trace in sorted(window_finished):
+                done[jid] = trace
+            if hier is not None:
+                hier.advance_window(executed)
+            t += executed * L
+            quanta += executed
+
+    finally:
+        if shared_pool is not None:
+            shared_pool.close()
+    log.build_traces(done)
+    return MultiJobResult(
+        traces=done,
+        processors=processors,
+        quantum_length=L,
+        quanta_elapsed=quanta,
+        released=released,
+    )

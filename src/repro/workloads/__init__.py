@@ -14,6 +14,7 @@ from .forkjoin import (
     ramped_job,
     structural_transition_factor,
 )
+from .giant import GiantScenario, giant_scenario
 from .jobsets import JobSetGenerator, JobSetSample
 from .profiles import job_from_profile, profile_of_job, random_profile
 
@@ -27,6 +28,8 @@ __all__ = [
     "fork_join_job",
     "ramped_job",
     "structural_transition_factor",
+    "GiantScenario",
+    "giant_scenario",
     "JobSetGenerator",
     "JobSetSample",
     "job_from_profile",

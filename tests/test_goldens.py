@@ -13,11 +13,13 @@ from repro.goldens import (
     ScenarioSpec,
     TraceDivergence,
     check_freshness,
+    dag_scenario,
     default_scenarios,
     first_divergence,
     fixture_paths,
     record_bundle,
     record_fixtures,
+    record_stale_fixtures,
     scenario_from_fig6,
     verify_traces,
 )
@@ -242,19 +244,22 @@ class TestVerifyTraces:
         record_fixtures(tmp_path, [tiny_spec()])
         report = verify_traces(fixture_paths(tmp_path))
         assert report.passed
-        assert [o["status"] for o in report.outcomes] == ["pass"] * 3
+        assert [o["status"] for o in report.outcomes] == ["pass"] * 4
         assert [o["path"] for o in report.outcomes] == [
             "serial",
             "batched",
             "superstep",
+            "sharded",
         ]
 
-    def test_default_registry_passes_all_three_paths(self, tmp_path):
+    def test_default_registry_passes_all_paths(self, tmp_path):
         record_fixtures(tmp_path, default_scenarios())
         report = verify_traces(fixture_paths(tmp_path))
         assert report.passed
-        assert len(report.outcomes) == 15
-        assert report.render().endswith("15 pass, 0 fail, 0 error")
+        # 7 scenarios x 4 paths; the reference-engine dag fixture skips
+        # the sharded path (non-batchable jobs) without failing the run.
+        assert len(report.outcomes) == 28
+        assert report.render().endswith("27 pass, 0 fail, 0 error, 1 skip")
 
     def test_report_is_deterministic(self, tmp_path):
         record_fixtures(tmp_path, [tiny_spec()])
@@ -477,7 +482,7 @@ class TestCli:
         assert main(["verify-traces", "--fixtures", out]) == 0
         assert main(["record-traces", "--out", out, "--check"]) == 0
         text = capsys.readouterr().out
-        assert "15 pass, 0 fail, 0 error" in text
+        assert "27 pass, 0 fail, 0 error, 1 skip" in text
         assert "clean: no findings" in text
 
     def test_verify_exit_code_and_diff_on_mutation(
@@ -505,7 +510,7 @@ class TestCli:
         assert main(["verify-traces", "--fixtures", out, "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["errors"] == 0
-        assert len(payload["outcomes"]) == 3
+        assert len(payload["outcomes"]) == 4
 
     def test_verify_empty_dir_is_usage_error(self, tmp_path):
         from repro.cli import main
@@ -535,3 +540,160 @@ class TestCli:
         assert [p.stem for p in paths] == ["fig6-smoke-set0"]
         report = verify_traces(paths)
         assert report.passed
+
+
+def dag_spec(scenario_id: str = "dag-tiny", **overrides) -> ScenarioSpec:
+    """A mixed schema-2 scenario: one explicit dag job, one phased job."""
+    fields = dict(
+        scenario_id=scenario_id,
+        policy="abg",
+        policy_params=(("convergence_rate", 0.2),),
+        allocator="deq",
+        processors=4,
+        quantum_length=10,
+        max_quanta=10_000,
+        jobs=(
+            ExplicitJob(
+                job_id=0,
+                release_time=0,
+                dag=(5, ((0, 1), (0, 2), (1, 3), (2, 3), (3, 4))),
+            ),
+            ExplicitJob(job_id=1, release_time=0, phases=((2, 40),)),
+        ),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestDagScenarios:
+    """Schema-2 fixtures: dag-structured jobs with pinned engines."""
+
+    def test_round_trip_emits_schema_2(self):
+        spec = dag_spec()
+        data = spec.to_dict()
+        assert data["schema"] == 2
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_phased_only_scenario_still_emits_schema_1(self):
+        # Committed pre-dag fixtures must stay byte-identical.
+        assert tiny_spec().to_dict()["schema"] == 1
+
+    def test_job_needs_exactly_one_structure(self):
+        with pytest.raises(ValueError, match="exactly one of phases or dag"):
+            ExplicitJob(job_id=0, release_time=0)
+        with pytest.raises(ValueError, match="exactly one of phases or dag"):
+            ExplicitJob(
+                job_id=0, release_time=0, phases=((1, 5),), dag=(2, ((0, 1),))
+            )
+
+    def test_engine_requires_dag(self):
+        with pytest.raises(ValueError, match="without a dag"):
+            ExplicitJob(
+                job_id=0, release_time=0, phases=((1, 5),), engine="reference"
+            )
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExplicitJob(
+                job_id=0, release_time=0, dag=(2, ((0, 1),)), engine="heap"
+            )
+
+    def test_cyclic_dag_rejected(self):
+        with pytest.raises(ValueError, match="invalid dag"):
+            ExplicitJob(job_id=0, release_time=0, dag=(2, ((0, 1), (1, 0))))
+
+    def test_schema_1_payload_with_dag_rejected(self):
+        data = dag_spec().to_dict()
+        data["schema"] = 1
+        with pytest.raises(ValueError, match="require schema 2"):
+            ScenarioSpec.from_dict(data)
+
+    def test_batchable_dag_fixture_passes_all_four_paths(self, tmp_path):
+        spec = dag_scenario(
+            "dag-mini", seed=7, num_jobs=3, num_levels=(8, 12), structure="barrier"
+        )
+        record_fixtures(tmp_path, [spec])
+        report = verify_traces(fixture_paths(tmp_path))
+        assert report.passed
+        assert [o["status"] for o in report.outcomes] == ["pass"] * 4
+
+    def test_reference_engine_fixture_skips_sharded_path(self, tmp_path):
+        spec = dag_scenario(
+            "dag-ref-mini",
+            seed=7,
+            num_jobs=3,
+            num_levels=(8, 12),
+            structure="irregular",
+            engine="reference",
+        )
+        record_fixtures(tmp_path, [spec])
+        report = verify_traces(fixture_paths(tmp_path))
+        assert report.passed
+        by_path = {o["path"]: o["status"] for o in report.outcomes}
+        assert by_path == {
+            "serial": "pass",
+            "batched": "pass",
+            "superstep": "pass",
+            "sharded": "skip",
+        }
+        # a skip is not a finding; the render still counts it
+        assert report.findings == ()
+        assert report.render().endswith("3 pass, 0 fail, 0 error, 1 skip")
+
+
+class TestRecordOnGreen:
+    def test_initial_record_writes_everything(self, tmp_path):
+        written, skipped = record_stale_fixtures(tmp_path, [tiny_spec()])
+        assert [p.stem for p in written] == ["tiny"]
+        assert skipped == []
+
+    def test_green_fixtures_stay_byte_identical(self, tmp_path):
+        record_stale_fixtures(tmp_path, [tiny_spec()])
+        before = (tmp_path / "tiny.json").read_bytes()
+        written, skipped = record_stale_fixtures(tmp_path, [tiny_spec()])
+        assert written == []
+        assert [p.stem for p in skipped] == ["tiny"]
+        assert (tmp_path / "tiny.json").read_bytes() == before
+
+    def test_only_the_diverged_fixture_is_rewritten(self, tmp_path):
+        scenarios = [tiny_spec(), tiny_spec(scenario_id="tiny2", quantum_length=60)]
+        record_stale_fixtures(tmp_path, scenarios)
+        fresh_bytes = (tmp_path / "tiny.json").read_bytes()
+        # Simulate behaviour drift on one fixture: tamper with its traces.
+        path = tmp_path / "tiny2.json"
+        data = json.loads(path.read_text())
+        key = next(iter(data["traces"]))
+        data["traces"][key]["records"][0]["allotment"] += 1
+        path.write_text(json.dumps(data))
+        written, skipped = record_stale_fixtures(tmp_path, scenarios)
+        assert [p.stem for p in written] == ["tiny2"]
+        assert [p.stem for p in skipped] == ["tiny"]
+        assert (tmp_path / "tiny.json").read_bytes() == fresh_bytes
+        assert check_freshness(tmp_path, scenarios) == []
+
+    def test_registry_change_re_records_that_fixture(self, tmp_path):
+        record_stale_fixtures(tmp_path, [tiny_spec()])
+        changed = [tiny_spec(quantum_length=60)]
+        written, skipped = record_stale_fixtures(tmp_path, changed)
+        assert [p.stem for p in written] == ["tiny"]
+        assert skipped == []
+        assert check_freshness(tmp_path, changed) == []
+
+    def test_extra_regression_fixture_checked_not_clobbered(self, tmp_path):
+        record_stale_fixtures(tmp_path, [tiny_spec()])
+        extra = tiny_spec(scenario_id="tiny-min")
+        save_golden_bundle(tmp_path / "tiny-min.json", record_bundle(extra))
+        before = (tmp_path / "tiny-min.json").read_bytes()
+        written, skipped = record_stale_fixtures(tmp_path, [tiny_spec()])
+        assert written == []
+        assert {p.stem for p in skipped} == {"tiny", "tiny-min"}
+        assert (tmp_path / "tiny-min.json").read_bytes() == before
+
+    def test_cli_record_on_green(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "goldens")
+        assert main(["record-traces", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["record-traces", "--out", out, "--record-on-green"]) == 0
+        text = capsys.readouterr().out
+        assert "re-recorded 0 stale fixture(s)" in text
+        assert "left 7 green fixture(s) untouched" in text
